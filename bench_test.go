@@ -1,0 +1,297 @@
+// Package repro's root benchmarks regenerate every figure and analysis of
+// the paper's evaluation, one benchmark per artifact, at a reduced scale
+// suitable for `go test -bench`. Each benchmark reports the headline
+// quantity of its figure as a custom metric so regressions in reproduction
+// quality — not just speed — are visible:
+//
+//	BenchmarkFig5a   final-vs-initial latency ratio of the nhops=2 curve
+//	BenchmarkFig5b   same ratio for the largest system size
+//	BenchmarkFig5c   ts-large latency drop minus ts-small drop (ms)
+//	BenchmarkFig6a   final stretch of the nhops=2 curve
+//	BenchmarkFig6b   final stretch for the largest size
+//	BenchmarkFig6c   ts-large stretch drop (topology contrast asserted in tests)
+//	BenchmarkFig7    LTM-minus-best-PROP-O delay ratio gap at x=1
+//	BenchmarkOverhead  PROP-G / PROP-O(m=1) measured message cost ratio
+//	BenchmarkChurn   peak-to-tail probe-rate ratio around the churn window
+//	BenchmarkCombo   Chord stretch: plain minus (PNS + PROP-G)
+//
+// Run everything:  go test -bench=. -benchmem
+// Full paper scale is driven by cmd/propsim, not the benchmarks.
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/experiment"
+	"repro/internal/stats"
+)
+
+// benchOpt keeps benchmark iterations affordable while exercising every
+// code path of the full experiment.
+func benchOpt(i int) experiment.Options {
+	return experiment.Options{Seed: uint64(i + 1), Trials: 1, Scale: 0.15}
+}
+
+func runExp(b *testing.B, id string, i int) *experiment.Result {
+	b.Helper()
+	res, err := experiment.Run(id, benchOpt(i))
+	if err != nil {
+		b.Fatalf("%s: %v", id, err)
+	}
+	return res
+}
+
+// runExpScaled is runExp at a custom scale, for benches whose headline
+// metric is a contrast that drowns in noise at the smallest scale.
+func runExpScaled(b *testing.B, id string, i int, scale float64) *experiment.Result {
+	b.Helper()
+	opt := benchOpt(i)
+	opt.Scale = scale
+	res, err := experiment.Run(id, opt)
+	if err != nil {
+		b.Fatalf("%s: %v", id, err)
+	}
+	return res
+}
+
+func findSeries(b *testing.B, res *experiment.Result, label string) stats.Series {
+	b.Helper()
+	for _, s := range res.Series {
+		if s.Label == label {
+			return s
+		}
+	}
+	b.Fatalf("%s: series %q not found", res.ID, label)
+	return stats.Series{}
+}
+
+func findSeriesPrefix(b *testing.B, res *experiment.Result, prefix string) stats.Series {
+	b.Helper()
+	for _, s := range res.Series {
+		if strings.HasPrefix(s.Label, prefix) {
+			return s
+		}
+	}
+	b.Fatalf("%s: series with prefix %q not found", res.ID, prefix)
+	return stats.Series{}
+}
+
+func BenchmarkFig5a(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		res := runExp(b, "fig5a", i)
+		s := findSeries(b, res, "n=1000, nhops=2")
+		ratio = s.Final() / s.Y[0]
+	}
+	b.ReportMetric(ratio, "final/initial-latency")
+}
+
+func BenchmarkFig5b(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		res := runExp(b, "fig5b", i)
+		s := findSeries(b, res, "n=2400, nhops=2")
+		ratio = s.Final() / s.Y[0]
+	}
+	b.ReportMetric(ratio, "final/initial-latency")
+}
+
+func BenchmarkFig5c(b *testing.B) {
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		res := runExpScaled(b, "fig5c", i, 0.3)
+		l := findSeries(b, res, "ts-large")
+		s := findSeries(b, res, "ts-small")
+		gap = (l.Y[0] - l.Final()) - (s.Y[0] - s.Final())
+	}
+	b.ReportMetric(gap, "large-vs-small-drop-ms")
+}
+
+func BenchmarkFig6a(b *testing.B) {
+	var final float64
+	for i := 0; i < b.N; i++ {
+		res := runExp(b, "fig6a", i)
+		final = findSeries(b, res, "n=1000, nhops=2").Final()
+	}
+	b.ReportMetric(final, "final-stretch")
+}
+
+func BenchmarkFig6b(b *testing.B) {
+	var final float64
+	for i := 0; i < b.N; i++ {
+		res := runExp(b, "fig6b", i)
+		final = findSeries(b, res, "n=2400, nhops=2").Final()
+	}
+	b.ReportMetric(final, "final-stretch")
+}
+
+func BenchmarkFig6c(b *testing.B) {
+	// The cross-topology stretch gap is ~0.1 at full scale — pure noise in
+	// a single reduced-scale trial — so the bench reports ts-large's own
+	// stretch drop; the topology contrast is asserted in the latency domain
+	// (TestFig5cShape) and recorded at full scale in EXPERIMENTS.md.
+	var drop float64
+	for i := 0; i < b.N; i++ {
+		res := runExpScaled(b, "fig6c", i, 0.3)
+		l := findSeries(b, res, "ts-large")
+		drop = l.Y[0] - l.Final()
+	}
+	b.ReportMetric(drop, "ts-large-stretch-drop")
+}
+
+func BenchmarkFig7(b *testing.B) {
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		res := runExp(b, "fig7", i)
+		ltm := findSeries(b, res, "LTM").Final()
+		best := math.Inf(1)
+		for _, m := range []string{"PROP-O (m=1)", "PROP-O (m=2)", "PROP-O (m=4)"} {
+			if f := findSeries(b, res, m).Final(); f < best {
+				best = f
+			}
+		}
+		gap = ltm - best
+	}
+	b.ReportMetric(gap, "ltm-minus-propo-at-x1")
+}
+
+func BenchmarkOverhead(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		res := runExp(b, "overhead", i)
+		measured := findSeriesPrefix(b, res, "measured")
+		ratio = measured.Y[0] / measured.Y[1] // PROP-G over PROP-O m=1
+	}
+	b.ReportMetric(ratio, "propg/propo-msg-cost")
+}
+
+func BenchmarkChurn(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		res := runExp(b, "churn", i)
+		probes := findSeries(b, res, "probes/node/min")
+		peak := 0.0
+		for j, x := range probes.X {
+			if x > 20 && x <= 36 && probes.Y[j] > peak {
+				peak = probes.Y[j]
+			}
+		}
+		tail := probes.Final()
+		if tail > 0 {
+			ratio = peak / tail
+		}
+	}
+	b.ReportMetric(ratio, "probe-peak/tail")
+}
+
+func BenchmarkCombo(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		res := runExp(b, "combo", i)
+		chordSeries := findSeries(b, res, "Chord")
+		gain = chordSeries.Y[0] - chordSeries.Y[3] // plain minus PNS+PROP-G
+	}
+	b.ReportMetric(gain, "chord-stretch-gain")
+}
+
+// Extension benchmarks (beyond the paper's figures).
+
+func BenchmarkPastry(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		res := runExp(b, "pastry", i)
+		s := findSeries(b, res, "Pastry")
+		gain = s.Y[0] - s.Y[3] // plain minus combined
+	}
+	b.ReportMetric(gain, "pastry-stretch-gain")
+}
+
+func BenchmarkTraffic(b *testing.B) {
+	var saving float64
+	for i := 0; i < b.N; i++ {
+		res := runExp(b, "traffic", i)
+		tr := findSeries(b, res, "traffic (ms per query)")
+		saving = 1 - tr.Y[1]/tr.Y[0] // PROP-G ms-traffic saving
+	}
+	b.ReportMetric(saving, "propg-traffic-saving")
+}
+
+func BenchmarkInflight(b *testing.B) {
+	var correct float64
+	for i := 0; i < b.N; i++ {
+		res := runExp(b, "inflight", i)
+		correct = findSeries(b, res, "correct fraction").Final() // hostile variant
+	}
+	b.ReportMetric(correct, "hostile-correct-fraction")
+}
+
+func BenchmarkNoise(b *testing.B) {
+	var degradation float64
+	for i := 0; i < b.N; i++ {
+		res := runExp(b, "noise", i)
+		lat := findSeries(b, res, "final mean link latency (ms)")
+		degradation = lat.YAt(1.0) / lat.YAt(0)
+	}
+	b.ReportMetric(degradation, "sigma1-latency-ratio")
+}
+
+func BenchmarkWarmupAblation(b *testing.B) {
+	var gainPerProbe float64
+	for i := 0; i < b.N; i++ {
+		res := runExp(b, "warmup", i)
+		lat := findSeries(b, res, "final mean link latency (ms)")
+		gainPerProbe = (lat.YAt(1) - lat.YAt(10)) / 9
+	}
+	b.ReportMetric(gainPerProbe, "ms-gain-per-warmup-probe")
+}
+
+func BenchmarkMinVarAblation(b *testing.B) {
+	var penalty float64
+	for i := 0; i < b.N; i++ {
+		res := runExp(b, "minvar", i)
+		lat := findSeries(b, res, "final mean link latency (ms)")
+		penalty = lat.YAt(400) - lat.YAt(0)
+	}
+	b.ReportMetric(penalty, "minvar400-latency-penalty-ms")
+}
+
+func BenchmarkChordChurn(b *testing.B) {
+	var correct float64
+	for i := 0; i < b.N; i++ {
+		res := runExp(b, "chordchurn", i)
+		correct = findSeries(b, res, "correct fraction").Final()
+	}
+	b.ReportMetric(correct, "post-churn-correct-fraction")
+}
+
+func BenchmarkKademlia(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		res := runExp(b, "kademlia", i)
+		s := findSeries(b, res, "Kademlia")
+		gain = s.Y[0] - s.Y[3]
+	}
+	b.ReportMetric(gain, "kademlia-stretch-gain")
+}
+
+func BenchmarkSATMatch(b *testing.B) {
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		res := runExp(b, "satmatch", i)
+		sat := findSeries(b, res, "SAT-Match")
+		prop := findSeries(b, res, "PROP-G")
+		gap = sat.Final() - prop.Final() // negative: SAT-Match ahead on quality
+	}
+	b.ReportMetric(gap, "satmatch-minus-propg-stretch")
+}
+
+func BenchmarkReplication(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		res := runExp(b, "replication", i)
+		ratio = findSeries(b, res, "PROP-G/unoptimized").Final()
+	}
+	b.ReportMetric(ratio, "propg-search-ratio-at-max-replication")
+}

@@ -1,0 +1,78 @@
+// Command propsim runs the paper-reproduction experiments and prints the
+// series each figure plots.
+//
+// Usage:
+//
+//	propsim -list
+//	propsim -exp fig5a [-seed 1] [-trials 3] [-scale 1.0]
+//	propsim -exp all [-scale 0.5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	var (
+		expID  = flag.String("exp", "", "experiment id (or 'all')")
+		seed   = flag.Uint64("seed", 1, "deterministic seed")
+		trials = flag.Int("trials", 3, "independent trials to average")
+		scale  = flag.Float64("scale", 1.0, "scale factor in (0,1]: shrinks node counts and workloads")
+		list   = flag.Bool("list", false, "list available experiments")
+		format = flag.String("format", "table", "output format: table | csv | json")
+		plot   = flag.Bool("plot", false, "render an ASCII chart after the table")
+	)
+	flag.Parse()
+
+	if *list || *expID == "" {
+		fmt.Println("available experiments:")
+		for _, id := range experiment.IDs() {
+			fmt.Printf("  %-9s %s\n", id, experiment.Describe(id))
+		}
+		if *expID == "" && !*list {
+			fmt.Fprintln(os.Stderr, "\nerror: -exp required")
+			os.Exit(2)
+		}
+		return
+	}
+
+	ids := []string{*expID}
+	if *expID == "all" {
+		ids = experiment.IDs()
+	}
+	opt := experiment.Options{Seed: *seed, Trials: *trials, Scale: *scale}
+	for _, id := range ids {
+		start := time.Now()
+		res, err := experiment.Run(id, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "propsim: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		switch *format {
+		case "table":
+			res.Render(os.Stdout)
+			if *plot {
+				res.Plot(os.Stdout, 72, 18)
+			}
+			fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		case "csv":
+			if err := res.WriteCSV(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "propsim: csv: %v\n", err)
+				os.Exit(1)
+			}
+		case "json":
+			if err := res.WriteJSON(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "propsim: json: %v\n", err)
+				os.Exit(1)
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "propsim: unknown format %q\n", *format)
+			os.Exit(2)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package can
+
+import (
+	"testing"
+
+	"repro/internal/dhttest"
+	"repro/internal/overlay"
+	"repro/internal/rng"
+)
+
+// keyPoint deterministically maps a 32-bit key onto the unit torus: high
+// halfword to x, low halfword to y.
+func keyPoint(key uint32) Point {
+	return Point{
+		X: float64(key>>16) / 65536.0,
+		Y: float64(key&0xFFFF) / 65536.0,
+	}
+}
+
+type dhtAdapter struct{ sp *Space }
+
+func (a dhtAdapter) Overlay() *overlay.Overlay { return a.sp.O }
+func (a dhtAdapter) Owner(key uint32) int      { return a.sp.ZoneOf(keyPoint(key)) }
+func (a dhtAdapter) Lookup(src int, key uint32, proc overlay.ProcDelayFunc) (int, int, float64, error) {
+	res, err := a.sp.Route(src, keyPoint(key), proc)
+	return res.Owner, res.Hops, res.Latency, err
+}
+
+func TestDHTConformance(t *testing.T) {
+	dhttest.Run(t, func(hosts []int, l overlay.LatencyFunc, r *rng.Rand) (dhttest.DHT, error) {
+		sp, err := Build(hosts, Config{}, l, r)
+		if err != nil {
+			return nil, err
+		}
+		return dhtAdapter{sp}, nil
+	})
+}
+
+func TestDHTConformancePIS(t *testing.T) {
+	dhttest.Run(t, func(hosts []int, l overlay.LatencyFunc, r *rng.Rand) (dhttest.DHT, error) {
+		sp, err := Build(hosts, Config{Landmarks: []int{hosts[0], hosts[len(hosts)-1]}}, l, r)
+		if err != nil {
+			return nil, err
+		}
+		return dhtAdapter{sp}, nil
+	})
+}

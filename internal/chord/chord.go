@@ -1,0 +1,339 @@
+// Package chord implements the Chord distributed hash table (Stoica et al.,
+// SIGCOMM '01) on top of the slot/host overlay model, as the structured
+// substrate of the paper's evaluation.
+//
+// Identifiers live on a 2^32 ring and are properties of *slots*: when
+// PROP-G "exchanges node identifiers" between two physical machines, the
+// overlay simply swaps the hosts backing the two slots and every finger
+// table — which is defined slot-to-slot — remains exactly correct. That is
+// the paper's claim that PROP-G preserves the DHT structure, made literal.
+//
+// The package also provides the PNS (Proximity Neighbor Selection) variant
+// used by the "combined with other recent approaches" experiments: each
+// finger entry is chosen as the physically nearest node within the finger
+// interval rather than the interval's first successor.
+package chord
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/overlay"
+	"repro/internal/rng"
+)
+
+// Bits is the identifier width; the ring has 2^Bits positions.
+const Bits = 32
+
+// ringSize is 2^Bits as a uint64 to simplify modular arithmetic.
+const ringSize = uint64(1) << Bits
+
+// Config parameterizes ring construction.
+type Config struct {
+	// SuccessorListLen is the number of immediate successors each node
+	// links to (fault tolerance; Chord's r parameter). Must be >= 1.
+	SuccessorListLen int
+	// PNS selects proximity neighbor selection: each finger points at the
+	// physically nearest candidate in its interval instead of the first.
+	PNS bool
+}
+
+// DefaultConfig mirrors a standard Chord deployment: successor list of 4,
+// plain (non-PNS) finger selection.
+func DefaultConfig() Config { return Config{SuccessorListLen: 4} }
+
+// Ring is a built Chord overlay.
+type Ring struct {
+	// O is the underlying overlay; its logical edges are the union of all
+	// finger and successor links (bidirectional, per the paper's §3.2
+	// extended-routing-table assumption).
+	O *overlay.Overlay
+	// ID holds the ring identifier of each slot.
+	ID []uint32
+	// fingers[slot][j] is the slot the j-th finger points to (may repeat).
+	fingers [][]int
+	// succ[slot] lists the SuccessorListLen immediate successor slots.
+	succ [][]int
+	// sorted holds slots ordered by ID for owner lookups.
+	sorted []int
+	cfg    Config
+}
+
+// Build constructs a Chord ring over the given hosts with distinct random
+// identifiers. lat supplies physical latencies (also used by PNS).
+func Build(hosts []int, cfg Config, lat overlay.LatencyFunc, r *rng.Rand) (*Ring, error) {
+	n := len(hosts)
+	if n < 2 {
+		return nil, fmt.Errorf("chord: need at least 2 nodes, got %d", n)
+	}
+	if cfg.SuccessorListLen < 1 {
+		return nil, fmt.Errorf("chord: SuccessorListLen = %d, want >= 1", cfg.SuccessorListLen)
+	}
+	o, err := overlay.New(hosts, lat)
+	if err != nil {
+		return nil, err
+	}
+	ring := &Ring{
+		O:       o,
+		ID:      make([]uint32, n),
+		fingers: make([][]int, n),
+		succ:    make([][]int, n),
+		cfg:     cfg,
+	}
+	// Distinct random IDs.
+	used := make(map[uint32]bool, n)
+	for s := 0; s < n; s++ {
+		for {
+			id := uint32(r.Uint64())
+			if !used[id] {
+				used[id] = true
+				ring.ID[s] = id
+				break
+			}
+		}
+	}
+	ring.sorted = make([]int, n)
+	for s := range ring.sorted {
+		ring.sorted[s] = s
+	}
+	sort.Slice(ring.sorted, func(i, j int) bool {
+		return ring.ID[ring.sorted[i]] < ring.ID[ring.sorted[j]]
+	})
+	ring.rebuildTables(lat)
+	return ring, nil
+}
+
+// rebuildTables recomputes successor lists and finger tables for all slots
+// and mirrors them into the overlay's logical graph.
+func (ring *Ring) rebuildTables(lat overlay.LatencyFunc) {
+	n := len(ring.ID)
+	pos := make(map[int]int, n) // slot -> index in sorted
+	for i, s := range ring.sorted {
+		pos[s] = i
+	}
+	for _, s := range ring.sorted {
+		i := pos[s]
+		// Successor list.
+		succ := make([]int, 0, ring.cfg.SuccessorListLen)
+		for k := 1; k <= ring.cfg.SuccessorListLen && k < n; k++ {
+			succ = append(succ, ring.sorted[(i+k)%n])
+		}
+		ring.succ[s] = succ
+		// Finger table: finger j targets id + 2^j.
+		fingers := make([]int, Bits)
+		for j := 0; j < Bits; j++ {
+			start := (uint64(ring.ID[s]) + (uint64(1) << uint(j))) % ringSize
+			if ring.cfg.PNS {
+				end := (uint64(ring.ID[s]) + (uint64(1) << uint(j+1))) % ringSize
+				fingers[j] = ring.nearestInInterval(s, start, end, lat)
+			} else {
+				fingers[j] = ring.ownerOf(start)
+			}
+		}
+		ring.fingers[s] = fingers
+	}
+	// Mirror into the logical graph.
+	for s := 0; s < n; s++ {
+		for _, t := range ring.succ[s] {
+			if t != s {
+				ring.O.AddEdge(s, t)
+			}
+		}
+		for _, t := range ring.fingers[s] {
+			if t != s {
+				ring.O.AddEdge(s, t)
+			}
+		}
+	}
+}
+
+// Refresh recomputes successor lists and finger tables against the current
+// host mapping and rebuilds the logical link set — Chord's periodic
+// stabilization. A plain ring is unchanged by it (fingers depend only on
+// identifiers), but a PNS ring re-picks each finger's physically nearest
+// candidate, which matters after PROP-G exchanges have moved machines
+// between identifiers.
+func (ring *Ring) Refresh(lat overlay.LatencyFunc) {
+	for _, e := range ring.O.Logical.Edges() {
+		ring.O.Logical.RemoveEdge(e.U, e.V)
+	}
+	ring.rebuildTables(lat)
+}
+
+// ownerOf returns the slot responsible for id: the first slot whose ID is
+// >= id, wrapping around the ring.
+func (ring *Ring) ownerOf(id uint64) int {
+	ids := ring.sorted
+	lo, hi := 0, len(ids)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if uint64(ring.ID[ids[mid]]) >= id {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo == len(ids) {
+		return ids[0] // wrap
+	}
+	return ids[lo]
+}
+
+// nearestInInterval returns the slot in [start, end) (ring interval,
+// possibly wrapping) physically nearest to s; if the interval is empty it
+// falls back to the plain finger ownerOf(start). This is PNS: any node in
+// the finger's interval is a correct entry, so pick the closest.
+func (ring *Ring) nearestInInterval(s int, start, end uint64, lat overlay.LatencyFunc) int {
+	best, bestD := -1, math.Inf(1)
+	hs := ring.O.HostOf(s)
+	for _, cand := range ring.slotsInInterval(start, end) {
+		if cand == s {
+			continue
+		}
+		d := lat(hs, ring.O.HostOf(cand))
+		if d < bestD {
+			best, bestD = cand, d
+		}
+	}
+	if best < 0 {
+		return ring.ownerOf(start)
+	}
+	return best
+}
+
+// slotsInInterval lists slots with ID in the ring interval [start, end).
+func (ring *Ring) slotsInInterval(start, end uint64) []int {
+	var out []int
+	for _, s := range ring.sorted {
+		id := uint64(ring.ID[s])
+		if start <= end {
+			if id >= start && id < end {
+				out = append(out, s)
+			}
+		} else { // wraps zero
+			if id >= start || id < end {
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// inInterval reports whether id lies in the half-open ring interval (a, b].
+func inInterval(id, a, b uint64) bool {
+	if a < b {
+		return id > a && id <= b
+	}
+	if a > b {
+		return id > a || id <= b
+	}
+	return true // a == b: full circle
+}
+
+// LookupResult describes one routed lookup.
+type LookupResult struct {
+	// Owner is the slot responsible for the key.
+	Owner int
+	// Hops is the number of overlay hops traversed.
+	Hops int
+	// Latency is the summed physical latency of the hop sequence, plus any
+	// per-hop processing delay.
+	Latency float64
+	// Path lists the slots visited, source first, owner last.
+	Path []int
+}
+
+// Lookup routes a query for key from the slot src using greedy
+// closest-preceding-finger routing and returns the traversal. proc, if
+// non-nil, adds processing delay at every visited slot after the source.
+func (ring *Ring) Lookup(src int, key uint32, proc overlay.ProcDelayFunc) (LookupResult, error) {
+	if !ring.O.Alive(src) {
+		return LookupResult{}, fmt.Errorf("chord: lookup from dead slot %d", src)
+	}
+	owner := ring.ownerOf(uint64(key))
+	res := LookupResult{Owner: owner, Path: []int{src}}
+	cur := src
+	// Safety valve: fingers give O(log n) hops, successor-only fallback is
+	// O(n); routing provably terminates within n + Bits hops.
+	maxHops := len(ring.ID) + Bits
+	for cur != owner {
+		next := ring.nextHop(cur, uint64(key))
+		if next == cur {
+			return res, fmt.Errorf("chord: routing stuck at slot %d for key %d", cur, key)
+		}
+		res.Latency += ring.O.Dist(cur, next)
+		if proc != nil {
+			res.Latency += proc(next)
+		}
+		res.Hops++
+		res.Path = append(res.Path, next)
+		cur = next
+		if res.Hops > maxHops {
+			return res, fmt.Errorf("chord: routing exceeded %d hops for key %d", maxHops, key)
+		}
+	}
+	return res, nil
+}
+
+// nextHop returns the routing step from cur toward key: the successor if
+// the key lies between cur and it, else the closest preceding finger, else
+// (fingers all useless) the successor — which is always strictly forward,
+// so routing provably progresses.
+func (ring *Ring) nextHop(cur int, key uint64) int {
+	curID := uint64(ring.ID[cur])
+	if len(ring.succ[cur]) > 0 {
+		s0 := ring.succ[cur][0]
+		if inInterval(key, curID, uint64(ring.ID[s0])) {
+			return s0
+		}
+	}
+	// Closest preceding finger: highest finger strictly inside (cur, key).
+	for j := Bits - 1; j >= 0; j-- {
+		f := ring.fingers[cur][j]
+		if f == cur {
+			continue
+		}
+		if inIntervalOpen(uint64(ring.ID[f]), curID, key) {
+			return f
+		}
+	}
+	// Successors alone suffice for correctness (Chord invariant).
+	if len(ring.succ[cur]) > 0 {
+		return ring.succ[cur][0]
+	}
+	return cur
+}
+
+// inIntervalOpen reports whether id lies in the open ring interval (a, b).
+func inIntervalOpen(id, a, b uint64) bool {
+	if a < b {
+		return id > a && id < b
+	}
+	if a > b {
+		return id > a || id < b
+	}
+	return id != a
+}
+
+// RandomKey returns a uniform key.
+func RandomKey(r *rng.Rand) uint32 { return uint32(r.Uint64()) }
+
+// NextHopSlot exposes a single routing decision from slot cur toward key —
+// the building block for message-level simulations that interleave lookup
+// hops with topology changes (see internal/livesim).
+func (ring *Ring) NextHopSlot(cur int, key uint32) int {
+	return ring.nextHop(cur, uint64(key))
+}
+
+// IsOwner reports whether slot s is responsible for key.
+func (ring *Ring) IsOwner(s int, key uint32) bool { return ring.ownerOf(uint64(key)) == s }
+
+// Owner exposes the slot responsible for key.
+func (ring *Ring) Owner(key uint32) int { return ring.ownerOf(uint64(key)) }
+
+// Fingers returns the finger slots of s (shared storage; do not mutate).
+func (ring *Ring) Fingers(s int) []int { return ring.fingers[s] }
+
+// Successors returns the successor slots of s (shared storage).
+func (ring *Ring) Successors(s int) []int { return ring.succ[s] }

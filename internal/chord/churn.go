@@ -1,0 +1,187 @@
+package chord
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/overlay"
+	"repro/internal/rng"
+)
+
+// Dynamic membership. Chord's correctness invariant is that successor
+// lists are exact; finger tables only accelerate routing and may go stale
+// between FixFingers rounds (nextHop skips dead entries and falls back to
+// the successor). Join and Leave therefore repair successor lists eagerly
+// — for the joiner/leaver's ring neighborhood — and leave finger repair to
+// the periodic maintenance the real protocol also uses.
+
+// Join adds a node on host with a fresh uniformly random unique
+// identifier, wires its successor list and fingers, and repairs the
+// successor lists of the ring neighbors that should now include it. It
+// returns the new slot.
+func (ring *Ring) Join(host int, lat overlay.LatencyFunc, r *rng.Rand) (int, error) {
+	inUse := make(map[uint32]bool, len(ring.sorted))
+	for _, s := range ring.sorted {
+		inUse[ring.ID[s]] = true
+	}
+	var id uint32
+	for {
+		id = uint32(r.Uint64())
+		if !inUse[id] {
+			break
+		}
+	}
+	return ring.JoinWithID(host, id, lat)
+}
+
+// JoinWithID adds a node on host with a caller-chosen identifier — the
+// primitive behind proximity-driven ID relocation schemes (SAT-Match, PIS)
+// where a node deliberately rejoins next to a physically close peer. The
+// identifier must be unused.
+func (ring *Ring) JoinWithID(host int, id uint32, lat overlay.LatencyFunc) (int, error) {
+	for _, s := range ring.sorted {
+		if ring.ID[s] == id {
+			return -1, fmt.Errorf("chord: identifier %d already in use by slot %d", id, s)
+		}
+	}
+	slot, err := ring.O.AddSlot(host)
+	if err != nil {
+		return -1, err
+	}
+	// ID is indexed by slot; grow the slice to cover the new slot.
+	for len(ring.ID) <= slot {
+		ring.ID = append(ring.ID, 0)
+	}
+	ring.ID[slot] = id
+	// Grow per-slot tables.
+	for len(ring.succ) <= slot {
+		ring.succ = append(ring.succ, nil)
+	}
+	for len(ring.fingers) <= slot {
+		ring.fingers = append(ring.fingers, nil)
+	}
+	// Insert into the sorted ring.
+	i := sort.Search(len(ring.sorted), func(k int) bool { return ring.ID[ring.sorted[k]] >= id })
+	ring.sorted = append(ring.sorted, 0)
+	copy(ring.sorted[i+1:], ring.sorted[i:])
+	ring.sorted[i] = slot
+
+	// The newcomer's own tables.
+	ring.rebuildNode(slot, lat)
+	// Ring neighbors within SuccessorListLen positions behind the newcomer
+	// must refresh their successor lists (the newcomer now appears there).
+	n := len(ring.sorted)
+	for k := 1; k <= ring.cfg.SuccessorListLen && k < n; k++ {
+		ring.rebuildNode(ring.sorted[((i-k)%n+n)%n], lat)
+	}
+	return slot, nil
+}
+
+// Leave removes slot from the ring: its ring predecessors re-point their
+// successor lists, every finger that referenced it is repaired, and its
+// logical links are dropped. The departing node's keys implicitly transfer
+// to its successor (ownerOf semantics over the updated ring).
+func (ring *Ring) Leave(slot int, lat overlay.LatencyFunc) error {
+	if !ring.O.Alive(slot) {
+		return fmt.Errorf("chord: Leave(%d) on dead slot", slot)
+	}
+	if len(ring.sorted) <= 2 {
+		return fmt.Errorf("chord: refusing to shrink below 2 nodes")
+	}
+	// Locate and remove from the sorted ring.
+	i := sort.Search(len(ring.sorted), func(k int) bool { return ring.ID[ring.sorted[k]] >= ring.ID[slot] })
+	if i >= len(ring.sorted) || ring.sorted[i] != slot {
+		return fmt.Errorf("chord: slot %d not in ring order", slot)
+	}
+	ring.sorted = append(ring.sorted[:i], ring.sorted[i+1:]...)
+	if err := ring.O.RemoveSlot(slot); err != nil {
+		return err
+	}
+	ring.succ[slot] = nil
+	ring.fingers[slot] = nil
+
+	// Predecessors refresh successor lists.
+	n := len(ring.sorted)
+	for k := 0; k < ring.cfg.SuccessorListLen && k < n; k++ {
+		ring.rebuildNode(ring.sorted[((i-1-k)%n+n)%n], lat)
+	}
+	// Repair every finger that pointed at the departed slot. (Global scan:
+	// the simulator's stand-in for failure detection + lazy repair.)
+	for _, s := range ring.sorted {
+		changed := false
+		for j, f := range ring.fingers[s] {
+			if f == slot {
+				start := (uint64(ring.ID[s]) + (uint64(1) << uint(j))) % ringSize
+				nf := ring.pickFinger(s, j, start, lat)
+				ring.fingers[s][j] = nf
+				changed = true
+			}
+		}
+		if changed {
+			ring.mirrorNode(s)
+		}
+	}
+	return nil
+}
+
+// FixFingers recomputes one node's finger table — Chord's periodic
+// maintenance. Use after churn or PROP-G activity to restore optimal
+// routing (correctness never depends on it).
+func (ring *Ring) FixFingers(slot int, lat overlay.LatencyFunc) error {
+	if !ring.O.Alive(slot) {
+		return fmt.Errorf("chord: FixFingers(%d) on dead slot", slot)
+	}
+	ring.rebuildNode(slot, lat)
+	return nil
+}
+
+// rebuildNode recomputes one slot's successor list and fingers and mirrors
+// its links into the logical graph.
+func (ring *Ring) rebuildNode(slot int, lat overlay.LatencyFunc) {
+	n := len(ring.sorted)
+	i := sort.Search(n, func(k int) bool { return ring.ID[ring.sorted[k]] >= ring.ID[slot] })
+	succ := make([]int, 0, ring.cfg.SuccessorListLen)
+	for k := 1; k <= ring.cfg.SuccessorListLen && k < n; k++ {
+		succ = append(succ, ring.sorted[(i+k)%n])
+	}
+	ring.succ[slot] = succ
+	fingers := make([]int, Bits)
+	for j := 0; j < Bits; j++ {
+		start := (uint64(ring.ID[slot]) + (uint64(1) << uint(j))) % ringSize
+		fingers[j] = ring.pickFinger(slot, j, start, lat)
+	}
+	ring.fingers[slot] = fingers
+	ring.mirrorNode(slot)
+}
+
+// pickFinger chooses the finger-j entry for slot (plain or PNS).
+func (ring *Ring) pickFinger(slot, j int, start uint64, lat overlay.LatencyFunc) int {
+	if ring.cfg.PNS && lat != nil {
+		end := (uint64(ring.ID[slot]) + (uint64(1) << uint(j+1))) % ringSize
+		return ring.nearestInInterval(slot, start, end, lat)
+	}
+	return ring.ownerOf(start)
+}
+
+// mirrorNode adds slot's current links to the logical graph. Old links are
+// not removed eagerly (real nodes keep connections open until GC); the
+// overlay-level metrics consider live links only, and dead endpoints drop
+// their edges via RemoveSlot.
+func (ring *Ring) mirrorNode(slot int) {
+	for _, t := range ring.succ[slot] {
+		if t != slot && ring.O.Alive(t) {
+			ring.O.AddEdge(slot, t)
+		}
+	}
+	for _, t := range ring.fingers[slot] {
+		if t != slot && ring.O.Alive(t) {
+			ring.O.AddEdge(slot, t)
+		}
+	}
+}
+
+// Alive reports whether the slot is a live ring member.
+func (ring *Ring) Alive(slot int) bool { return ring.O.Alive(slot) }
+
+// Size returns the current ring membership count.
+func (ring *Ring) Size() int { return len(ring.sorted) }

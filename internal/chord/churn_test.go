@@ -1,0 +1,178 @@
+package chord
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestJoinGrowsRing(t *testing.T) {
+	ring := buildRing(t, 32, 1)
+	r := rng.New(9)
+	slot, err := ring.Join(99991, lat, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ring.Size() != 33 || !ring.Alive(slot) {
+		t.Fatalf("size=%d alive=%v", ring.Size(), ring.Alive(slot))
+	}
+	// Ring order must remain sorted and include the newcomer.
+	for i := 1; i < len(ring.sorted); i++ {
+		if ring.ID[ring.sorted[i-1]] >= ring.ID[ring.sorted[i]] {
+			t.Fatal("sorted order broken after join")
+		}
+	}
+	// Lookups (from and to the newcomer) must work.
+	key := RandomKey(r)
+	res, err := ring.Lookup(slot, key, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Owner != ring.Owner(key) {
+		t.Fatal("lookup from joiner broken")
+	}
+}
+
+func TestJoinLookupCorrect(t *testing.T) {
+	ring := buildRing(t, 32, 2)
+	r := rng.New(5)
+	for i := 0; i < 10; i++ {
+		if _, err := ring.Join(90000+i, lat, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 300; i++ {
+		key := RandomKey(r)
+		src := ring.sorted[r.Intn(len(ring.sorted))]
+		res, err := ring.Lookup(src, key, nil)
+		if err != nil {
+			t.Fatalf("lookup after joins: %v", err)
+		}
+		if res.Owner != ring.Owner(key) {
+			t.Fatal("lookup reached wrong owner after joins")
+		}
+	}
+}
+
+func TestJoinDuplicateHostRejected(t *testing.T) {
+	ring := buildRing(t, 8, 3)
+	r := rng.New(1)
+	host := ring.O.HostOf(ring.sorted[0])
+	if _, err := ring.Join(host, lat, r); err == nil {
+		t.Fatal("join with in-use host accepted")
+	}
+}
+
+func TestLeaveShrinksRing(t *testing.T) {
+	ring := buildRing(t, 32, 4)
+	r := rng.New(7)
+	victim := ring.sorted[10]
+	if err := ring.Leave(victim, lat); err != nil {
+		t.Fatal(err)
+	}
+	if ring.Size() != 31 || ring.Alive(victim) {
+		t.Fatalf("size=%d alive=%v", ring.Size(), ring.Alive(victim))
+	}
+	if err := ring.Leave(victim, lat); err == nil {
+		t.Fatal("double leave accepted")
+	}
+	// No finger or successor may reference the dead slot.
+	for _, s := range ring.sorted {
+		for _, f := range ring.fingers[s] {
+			if f == victim {
+				t.Fatalf("slot %d finger still references dead %d", s, victim)
+			}
+		}
+		for _, sc := range ring.succ[s] {
+			if sc == victim {
+				t.Fatalf("slot %d successor list still references dead %d", s, victim)
+			}
+		}
+	}
+	// Lookups stay correct.
+	for i := 0; i < 300; i++ {
+		key := RandomKey(r)
+		src := ring.sorted[r.Intn(len(ring.sorted))]
+		res, err := ring.Lookup(src, key, nil)
+		if err != nil {
+			t.Fatalf("lookup after leave: %v", err)
+		}
+		if res.Owner != ring.Owner(key) {
+			t.Fatal("lookup reached wrong owner after leave")
+		}
+	}
+}
+
+func TestLeaveRefusesTinyRing(t *testing.T) {
+	ring := buildRing(t, 2, 5)
+	if err := ring.Leave(ring.sorted[0], lat); err == nil {
+		t.Fatal("shrinking below 2 accepted")
+	}
+}
+
+func TestChurnStormKeepsLookupsCorrect(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		ring, err := Build(hostsN(24), DefaultConfig(), lat, r)
+		if err != nil {
+			return false
+		}
+		nextHost := 50000
+		for op := 0; op < 60; op++ {
+			if r.Bool(0.5) && ring.Size() > 4 {
+				victim := ring.sorted[r.Intn(len(ring.sorted))]
+				if err := ring.Leave(victim, lat); err != nil {
+					return false
+				}
+			} else {
+				if _, err := ring.Join(nextHost, lat, r); err != nil {
+					return false
+				}
+				nextHost++
+			}
+			// A lookup after every churn event must reach the true owner.
+			key := RandomKey(r)
+			src := ring.sorted[r.Intn(len(ring.sorted))]
+			res, err := ring.Lookup(src, key, nil)
+			if err != nil || res.Owner != ring.Owner(key) {
+				return false
+			}
+		}
+		return ring.O.Connected()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFixFingersAfterSwaps(t *testing.T) {
+	cfg := Config{SuccessorListLen: 4, PNS: true}
+	ring, err := Build(hostsN(128), cfg, lat, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(3)
+	for i := 0; i < 60; i++ {
+		u, v := r.Intn(128), r.Intn(128)
+		if u != v {
+			ring.O.SwapHosts(u, v)
+		}
+	}
+	if err := ring.FixFingers(5, lat); err != nil {
+		t.Fatal(err)
+	}
+	// Fingers of node 5 must again be per-interval nearest.
+	s := 5
+	for j := 0; j < Bits; j++ {
+		start := (uint64(ring.ID[s]) + (uint64(1) << uint(j))) % ringSize
+		end := (uint64(ring.ID[s]) + (uint64(1) << uint(j+1))) % ringSize
+		want := ring.nearestInInterval(s, start, end, lat)
+		if got := ring.Fingers(s)[j]; got != want {
+			t.Fatalf("finger %d = %d, want %d after FixFingers", j, got, want)
+		}
+	}
+	if err := ring.FixFingers(99999, lat); err == nil {
+		t.Fatal("FixFingers on bad slot accepted")
+	}
+}

@@ -1,0 +1,38 @@
+package chord
+
+import (
+	"testing"
+
+	"repro/internal/dhttest"
+	"repro/internal/overlay"
+	"repro/internal/rng"
+)
+
+type dhtAdapter struct{ ring *Ring }
+
+func (a dhtAdapter) Overlay() *overlay.Overlay { return a.ring.O }
+func (a dhtAdapter) Owner(key uint32) int      { return a.ring.Owner(key) }
+func (a dhtAdapter) Lookup(src int, key uint32, proc overlay.ProcDelayFunc) (int, int, float64, error) {
+	res, err := a.ring.Lookup(src, key, proc)
+	return res.Owner, res.Hops, res.Latency, err
+}
+
+func TestDHTConformance(t *testing.T) {
+	dhttest.Run(t, func(hosts []int, l overlay.LatencyFunc, r *rng.Rand) (dhttest.DHT, error) {
+		ring, err := Build(hosts, DefaultConfig(), l, r)
+		if err != nil {
+			return nil, err
+		}
+		return dhtAdapter{ring}, nil
+	})
+}
+
+func TestDHTConformancePNS(t *testing.T) {
+	dhttest.Run(t, func(hosts []int, l overlay.LatencyFunc, r *rng.Rand) (dhttest.DHT, error) {
+		ring, err := Build(hosts, Config{SuccessorListLen: 4, PNS: true}, l, r)
+		if err != nil {
+			return nil, err
+		}
+		return dhtAdapter{ring}, nil
+	})
+}

@@ -1,0 +1,65 @@
+package chord
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// FuzzIntervalPartition checks the ring-interval algebra nextHop depends
+// on: for a != b, the half-open intervals (a,b] and (b,a] partition the
+// identifier circle, and the open interval (a,b) is (a,b] minus {b}.
+func FuzzIntervalPartition(f *testing.F) {
+	f.Add(uint64(5), uint64(3), uint64(8))
+	f.Add(uint64(1), uint64(250), uint64(10))
+	f.Add(uint64(0), uint64(0), uint64(0))
+	f.Fuzz(func(t *testing.T, id, a, b uint64) {
+		if a != b {
+			in1 := inInterval(id, a, b)
+			in2 := inInterval(id, b, a)
+			if in1 == in2 {
+				t.Fatalf("(%d,%d] and (%d,%d] do not partition at id=%d: %v/%v",
+					a, b, b, a, id, in1, in2)
+			}
+		} else {
+			// Degenerate interval is the full circle.
+			if !inInterval(id, a, b) {
+				t.Fatalf("full-circle interval excluded id=%d", id)
+			}
+		}
+		// Open vs half-open.
+		open := inIntervalOpen(id, a, b)
+		if open && id == b {
+			t.Fatalf("open interval (%d,%d) contains its endpoint %d", a, b, id)
+		}
+		if a != b && open != (inInterval(id, a, b) && id != b) {
+			t.Fatalf("open/half-open mismatch at id=%d a=%d b=%d", id, a, b)
+		}
+	})
+}
+
+// FuzzOwnerAndLookup builds small rings from fuzz bytes and checks that
+// every lookup terminates at the globally computed owner.
+func FuzzOwnerAndLookup(f *testing.F) {
+	f.Add(uint64(1), uint8(8))
+	f.Add(uint64(99), uint8(3))
+	f.Fuzz(func(t *testing.T, seed uint64, sizeRaw uint8) {
+		n := 2 + int(sizeRaw%30)
+		ring, err := Build(hostsN(n), DefaultConfig(), lat, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.New(seed ^ 0xdead)
+		for i := 0; i < 10; i++ {
+			key := RandomKey(r)
+			src := r.Intn(n)
+			res, err := ring.Lookup(src, key, nil)
+			if err != nil {
+				t.Fatalf("lookup: %v", err)
+			}
+			if res.Owner != ring.Owner(key) {
+				t.Fatalf("owner mismatch for key %d", key)
+			}
+		}
+	})
+}

@@ -1,0 +1,530 @@
+// Package core implements the paper's contribution: the PROP family of
+// Peer-exchange Routing Optimization Protocols (PROP-G and PROP-O).
+//
+// Every peer runs the same loop (§3.2). After joining it enters a warm-up
+// phase: it probes its neighbors to learn Σ d(u,i), then every `timer`
+// interval contacts a node v exactly nhops away via a TTL random walk whose
+// first hop is drawn from a priority queue (neighborQ). The pair evaluates
+//
+//	Var = Σ_{N_t0(u)} d(u,i) + Σ_{N_t0(v)} d(v,i)
+//	    − Σ_{N_t1(u)} d(u,i) − Σ_{N_t1(v)} d(v,i)
+//
+// and executes the peer-exchange iff Var > MIN_VAR: under PROP-G the two
+// peers swap overlay positions (all neighbors, and node identifiers in DHT
+// systems — a host swap in the slot model); under PROP-O they trade exactly
+// m neighbors each, never ones on the walk path, preserving both degrees.
+// After MAX_INIT_TRIAL probes the peer enters maintenance: successful
+// first-hops are re-prioritized to be probed again soon, failures fall to
+// the queue tail, and the probe timer follows a Markov back-off — doubled
+// on failure, reset to INIT_TIMER on success or once it exceeds MAX_TIMER.
+// Churn resets the timer and enqueues new neighbors at the queue front.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/event"
+	"repro/internal/metrics"
+	"repro/internal/overlay"
+	"repro/internal/rng"
+)
+
+// Policy selects the exchange rule.
+type Policy int
+
+const (
+	// PROPG exchanges all neighbors (a position/identifier swap).
+	PROPG Policy = iota
+	// PROPO exchanges exactly m neighbors per side, preserving degrees.
+	PROPO
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case PROPG:
+		return "PROP-G"
+	case PROPO:
+		return "PROP-O"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Config holds the protocol parameters of §3.2 and §5.1.
+type Config struct {
+	// Policy selects PROP-G or PROP-O.
+	Policy Policy
+	// NHops is the TTL of the probing random walk. The paper's default and
+	// recommendation is 2 ("nhop = 2 may be a better choice").
+	NHops int
+	// RandomProbe replaces the TTL walk with a uniformly random partner
+	// ("instead of TTL packets, a random node is selected as the probing
+	// target") — the impractical-but-instructive baseline of Fig. 5/6(a).
+	RandomProbe bool
+	// M is the PROP-O exchange size. Zero means "use δ(G), the overlay's
+	// minimum degree, at start time" — the paper's default.
+	M int
+	// MinVar is the exchange threshold; §4.2 derives MIN_VAR = 0.
+	MinVar float64
+	// InitTimerMS is INIT_TIMER (paper: 1 minute = 60000 ms).
+	InitTimerMS float64
+	// MaxInitTrials is MAX_INIT_TRIAL, the warm-up length (paper: "less
+	// than ten" — we use 10).
+	MaxInitTrials int
+	// MaxTimerFactor caps the Markov back-off: MAX_TIMER =
+	// MaxTimerFactor × INIT_TIMER (paper: 2^5 = 32, "at most five times of
+	// suspending").
+	MaxTimerFactor float64
+	// MeasurementNoise, when positive, perturbs every probe RTT used in the
+	// Var computation by a multiplicative Gaussian factor (1 + σ·N(0,1)),
+	// clamped at zero. The topology change itself always applies to ground
+	// truth — only the decision is noisy, as in a real deployment. Zero
+	// (the default, and the paper's setting) means exact measurements.
+	MeasurementNoise float64
+}
+
+// DefaultConfig returns the paper's parameterization for the given policy.
+func DefaultConfig(policy Policy) Config {
+	return Config{
+		Policy:         policy,
+		NHops:          2,
+		MinVar:         0,
+		InitTimerMS:    60000,
+		MaxInitTrials:  10,
+		MaxTimerFactor: 32,
+	}
+}
+
+// Validate reports the first configuration error.
+func (c Config) Validate() error {
+	switch {
+	case c.Policy != PROPG && c.Policy != PROPO:
+		return fmt.Errorf("core: unknown policy %d", int(c.Policy))
+	case !c.RandomProbe && c.NHops < 1:
+		return fmt.Errorf("core: NHops = %d, want >= 1 (or RandomProbe)", c.NHops)
+	case c.M < 0:
+		return fmt.Errorf("core: M = %d, want >= 0", c.M)
+	case c.InitTimerMS <= 0:
+		return fmt.Errorf("core: InitTimerMS = %v, want > 0", c.InitTimerMS)
+	case c.MaxInitTrials < 1:
+		return fmt.Errorf("core: MaxInitTrials = %d, want >= 1", c.MaxInitTrials)
+	case c.MaxTimerFactor < 1:
+		return fmt.Errorf("core: MaxTimerFactor = %v, want >= 1", c.MaxTimerFactor)
+	case c.MeasurementNoise < 0:
+		return fmt.Errorf("core: MeasurementNoise = %v, want >= 0", c.MeasurementNoise)
+	}
+	return nil
+}
+
+// ExchangeEvent records one executed peer-exchange for tracing.
+type ExchangeEvent struct {
+	At   event.Time
+	U, V int
+	Var  float64
+	// Moved counts the neighbors exchanged per side (PROP-O) or the full
+	// neighbor-set sizes (PROP-G, |N(u)|+|N(v)|).
+	Moved int
+}
+
+// Protocol runs PROP over one overlay inside one event engine.
+type Protocol struct {
+	// O is the overlay being optimized.
+	O *overlay.Overlay
+	// Counters tallies message overhead (§4.3).
+	Counters metrics.Counters
+	// Trace, if non-nil, receives every executed exchange.
+	Trace func(ExchangeEvent)
+
+	cfg   Config
+	r     *rng.Rand
+	m     int // resolved PROP-O exchange size
+	nodes map[int]*nodeState
+}
+
+type nodeState struct {
+	slot    int
+	queue   []queueEntry
+	seq     int
+	timerMS float64
+	trials  int // probes executed so far (warm-up gate)
+	token   *event.Token
+}
+
+type queueEntry struct {
+	neighbor int
+	prio     int
+	seq      int // FIFO tie-break
+}
+
+// New creates a protocol instance over o. The overlay should already be
+// built (its peers joined "based on a random or DHT based assignment").
+func New(o *overlay.Overlay, cfg Config, r *rng.Rand) (*Protocol, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if o == nil {
+		return nil, fmt.Errorf("core: nil overlay")
+	}
+	p := &Protocol{
+		O:     o,
+		cfg:   cfg,
+		r:     r,
+		nodes: make(map[int]*nodeState),
+	}
+	p.m = cfg.M
+	if p.m == 0 {
+		p.m = o.Logical.MinDegree()
+		if p.m < 1 {
+			p.m = 1
+		}
+	}
+	return p, nil
+}
+
+// M returns the resolved PROP-O exchange size.
+func (p *Protocol) M() int { return p.m }
+
+// Start registers every live slot with the engine. Each node's first probe
+// is staggered uniformly over one INIT_TIMER interval so that the warm-up
+// phase is not synchronized.
+func (p *Protocol) Start(e *event.Engine) {
+	for _, slot := range p.O.AliveSlots() {
+		p.register(e, slot)
+	}
+}
+
+// register creates protocol state for slot and schedules its first probe.
+func (p *Protocol) register(e *event.Engine, slot int) {
+	st := &nodeState{slot: slot, timerMS: p.cfg.InitTimerMS}
+	p.initQueue(st)
+	p.nodes[slot] = st
+	delay := event.Time(p.r.Float64() * p.cfg.InitTimerMS)
+	st.token = e.After(delay, func(en *event.Engine) { p.probe(en, slot) })
+}
+
+// AddNode brings a newly joined slot under protocol control (churn). The
+// slot must already be wired into the overlay.
+func (p *Protocol) AddNode(e *event.Engine, slot int) error {
+	if !p.O.Alive(slot) {
+		return fmt.Errorf("core: AddNode(%d) on dead slot", slot)
+	}
+	if _, dup := p.nodes[slot]; dup {
+		return fmt.Errorf("core: slot %d already registered", slot)
+	}
+	p.register(e, slot)
+	// §3.2: neighbors of an arriving peer reset their timers and probe the
+	// newcomer early.
+	for _, nb := range p.O.Neighbors(slot) {
+		p.onNeighborChange(e, nb)
+	}
+	return nil
+}
+
+// RemoveNode withdraws a departing slot (churn): its pending probe is
+// cancelled and its former neighbors reset their timers. Call after the
+// overlay repair has rewired the survivors.
+func (p *Protocol) RemoveNode(e *event.Engine, slot int, formerNeighbors []int) {
+	if st, ok := p.nodes[slot]; ok {
+		st.token.Cancel()
+		delete(p.nodes, slot)
+	}
+	for _, nb := range formerNeighbors {
+		p.onNeighborChange(e, nb)
+	}
+}
+
+// onNeighborChange implements the §3.2 churn rule for one affected peer:
+// reset the timer to INIT_TIMER (rescheduling the pending probe) — the
+// queue itself reconciles lazily, with fresh neighbors entering at the
+// front.
+func (p *Protocol) onNeighborChange(e *event.Engine, slot int) {
+	st, ok := p.nodes[slot]
+	if !ok {
+		return
+	}
+	st.timerMS = p.cfg.InitTimerMS
+	st.token.Cancel()
+	st.token = e.After(event.Time(st.timerMS), func(en *event.Engine) { p.probe(en, slot) })
+}
+
+// initQueue fills a node's neighborQ with a random permutation of its
+// neighbors ("initialized with a random sequence … so each neighbor has an
+// equal probability to be probed").
+func (p *Protocol) initQueue(st *nodeState) {
+	nbrs := p.O.Neighbors(st.slot)
+	p.r.Shuffle(len(nbrs), func(i, j int) { nbrs[i], nbrs[j] = nbrs[j], nbrs[i] })
+	st.queue = st.queue[:0]
+	for _, nb := range nbrs {
+		st.queue = append(st.queue, queueEntry{neighbor: nb, prio: 0, seq: st.seq})
+		st.seq++
+	}
+}
+
+// reconcileQueue drops entries that are no longer neighbors and inserts new
+// neighbors at the front (minimum priority — probed earliest, per §3.2's
+// churn rule).
+func (p *Protocol) reconcileQueue(st *nodeState) {
+	current := p.O.Neighbors(st.slot)
+	inSet := make(map[int]bool, len(current))
+	for _, nb := range current {
+		inSet[nb] = true
+	}
+	kept := st.queue[:0]
+	seen := make(map[int]bool, len(st.queue))
+	minPrio := 0
+	for _, qe := range st.queue {
+		if inSet[qe.neighbor] && !seen[qe.neighbor] {
+			kept = append(kept, qe)
+			seen[qe.neighbor] = true
+			if qe.prio < minPrio {
+				minPrio = qe.prio
+			}
+		}
+	}
+	st.queue = kept
+	for _, nb := range current {
+		if !seen[nb] {
+			st.queue = append(st.queue, queueEntry{neighbor: nb, prio: minPrio - 1, seq: st.seq})
+			st.seq++
+		}
+	}
+}
+
+// pickFirstHop returns the index of the minimum-priority queue entry.
+func (st *nodeState) pickFirstHop() int {
+	best := -1
+	for i, qe := range st.queue {
+		if best < 0 || qe.prio < st.queue[best].prio ||
+			(qe.prio == st.queue[best].prio && qe.seq < st.queue[best].seq) {
+			best = i
+		}
+	}
+	return best
+}
+
+// maxPrio returns the maximum priority in the queue (0 if empty).
+func (st *nodeState) maxPrio() int {
+	max := 0
+	for _, qe := range st.queue {
+		if qe.prio > max {
+			max = qe.prio
+		}
+	}
+	return max
+}
+
+// probe is one timer firing for slot u: find a partner, evaluate Var, and
+// exchange if profitable.
+func (p *Protocol) probe(e *event.Engine, u int) {
+	st, ok := p.nodes[u]
+	if !ok || !p.O.Alive(u) {
+		return
+	}
+	p.Counters.Probes++
+	st.trials++
+	p.reconcileQueue(st)
+
+	success := false
+	firstHopIdx := st.pickFirstHop()
+	if firstHopIdx >= 0 {
+		s := st.queue[firstHopIdx].neighbor
+		v, path, walked := p.findPartner(u, s)
+		if walked {
+			success = p.attemptExchange(e, u, v, path)
+		}
+		// Update the first hop's standing (maintenance rule; during warm-up
+		// the rotation gives every neighbor a turn).
+		if st.trials <= p.cfg.MaxInitTrials {
+			st.queue[firstHopIdx].prio = st.maxPrio() + 1
+		} else if success {
+			st.queue[firstHopIdx].prio--
+		} else {
+			st.queue[firstHopIdx].prio = st.maxPrio() + 1
+		}
+	}
+
+	// Timer update: fixed during warm-up; Markov-chain back-off afterwards.
+	if st.trials <= p.cfg.MaxInitTrials {
+		st.timerMS = p.cfg.InitTimerMS
+	} else if success {
+		st.timerMS = p.cfg.InitTimerMS
+	} else {
+		st.timerMS *= 2
+		if st.timerMS > p.cfg.MaxTimerFactor*p.cfg.InitTimerMS {
+			st.timerMS = p.cfg.InitTimerMS
+		}
+	}
+	st.token = e.After(event.Time(st.timerMS), func(en *event.Engine) { p.probe(en, u) })
+}
+
+// findPartner locates the exchange counterpart: a TTL-nhops random walk
+// from u through s, or a uniform random peer under RandomProbe. It returns
+// the partner, the walk path (for the Theorem 1 exclusion rule), and
+// whether a partner was found.
+func (p *Protocol) findPartner(u, s int) (v int, path []int, ok bool) {
+	if p.cfg.RandomProbe {
+		alive := p.O.AliveSlots()
+		if len(alive) < 2 {
+			return 0, nil, false
+		}
+		for tries := 0; tries < 8; tries++ {
+			cand := alive[p.r.Intn(len(alive))]
+			if cand != u {
+				return cand, []int{u, cand}, true
+			}
+		}
+		return 0, nil, false
+	}
+	path, walked := p.O.RandomWalk(u, s, p.cfg.NHops, p.r)
+	p.Counters.WalkMessages += uint64(len(path) - 1)
+	if !walked {
+		p.Counters.WalkFailures++
+		return 0, nil, false
+	}
+	return path[len(path)-1], path, true
+}
+
+// attemptExchange evaluates Var for the (u,v) pair and executes the
+// exchange when profitable. It reports whether an exchange happened.
+func (p *Protocol) attemptExchange(e *event.Engine, u, v int, path []int) bool {
+	if u == v || !p.O.Alive(u) || !p.O.Alive(v) {
+		return false
+	}
+	switch p.cfg.Policy {
+	case PROPG:
+		return p.attemptSwap(e, u, v)
+	case PROPO:
+		return p.attemptTrade(e, u, v, path)
+	}
+	return false
+}
+
+// measureHosts returns the probe RTT between two hosts: ground truth, or
+// ground truth perturbed by the configured multiplicative Gaussian noise.
+func (p *Protocol) measureHosts(a, b int) float64 {
+	d := p.O.HostLatency(a, b)
+	if p.cfg.MeasurementNoise <= 0 {
+		return d
+	}
+	m := d * (1 + p.cfg.MeasurementNoise*p.r.NormFloat64())
+	if m < 0 {
+		return 0
+	}
+	return m
+}
+
+// measureSlots is measureHosts addressed by slots.
+func (p *Protocol) measureSlots(u, v int) float64 {
+	return p.measureHosts(p.O.HostOf(u), p.O.HostOf(v))
+}
+
+// attemptSwap is the PROP-G exchange: swap positions if Var > MIN_VAR.
+func (p *Protocol) attemptSwap(e *event.Engine, u, v int) bool {
+	degU, degV := p.O.Degree(u), p.O.Degree(v)
+	// Each side probes the other's neighborhood: 2c measurements (§4.3).
+	p.Counters.MeasureMessages += uint64(degU + degV)
+	variation := p.O.SwapGainMeasured(u, v, p.measureHosts)
+	if variation <= p.cfg.MinVar {
+		p.Counters.Rejected++
+		return false
+	}
+	if err := p.O.SwapHosts(u, v); err != nil {
+		p.Counters.Rejected++
+		return false
+	}
+	// Both peers notify all their neighbors to rewrite routing entries.
+	p.Counters.NotifyMessages += uint64(degU + degV)
+	p.Counters.Exchanges++
+	p.emit(ExchangeEvent{At: e.Now(), U: u, V: v, Var: variation, Moved: degU + degV})
+	return true
+}
+
+// attemptTrade is the PROP-O exchange: trade the best m neighbors per side.
+func (p *Protocol) attemptTrade(e *event.Engine, u, v int, path []int) bool {
+	give, take := p.selectTrade(u, v, path)
+	if len(give) == 0 {
+		p.Counters.Rejected++
+		return false
+	}
+	// Each side probes the m hypothetical neighbors: 2m measurements.
+	p.Counters.MeasureMessages += uint64(len(give) + len(take))
+	variation := p.O.ExchangeGainMeasured(u, v, give, take, p.measureSlots)
+	if variation <= p.cfg.MinVar {
+		p.Counters.Rejected++
+		return false
+	}
+	if err := p.O.ExchangeNeighbors(u, v, give, take, path); err != nil {
+		p.Counters.Rejected++
+		return false
+	}
+	// The moved neighbors (and the endpoints) update routing entries.
+	p.Counters.NotifyMessages += uint64(len(give) + len(take))
+	p.Counters.Exchanges++
+	p.emit(ExchangeEvent{At: e.Now(), U: u, V: v, Var: variation, Moved: len(give)})
+	return true
+}
+
+// selectTrade picks up to m neighbors from each side to exchange, honoring
+// the Theorem 1 constraints. Per §3.2 the peers exchange address lists of
+// "arbitrary m neighbors" — the selection is random, not greedy; the Var
+// test afterwards decides whether the candidate trade is worth executing.
+// Both sides return equally many neighbors (possibly fewer than m when
+// eligibility is scarce); empty slices mean no legal trade exists.
+func (p *Protocol) selectTrade(u, v int, path []int) (give, take []int) {
+	onPath := make(map[int]bool, len(path))
+	for _, x := range path {
+		onPath[x] = true
+	}
+	eligibleFrom := func(from, to int) []int {
+		var out []int
+		for _, x := range p.O.Neighbors(from) {
+			if x == to || x == from || onPath[x] || !p.O.Alive(x) {
+				continue
+			}
+			if p.O.Logical.HasEdge(to, x) {
+				continue
+			}
+			out = append(out, x)
+		}
+		return out
+	}
+	candU := eligibleFrom(u, v)
+	candV := eligibleFrom(v, u)
+	m := p.m
+	if len(candU) < m {
+		m = len(candU)
+	}
+	if len(candV) < m {
+		m = len(candV)
+	}
+	if m == 0 {
+		return nil, nil
+	}
+	pick := func(cands []int) []int {
+		p.r.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+		out := cands[:m]
+		sort.Ints(out)
+		return out
+	}
+	return pick(candU), pick(candV)
+}
+
+func (p *Protocol) emit(ev ExchangeEvent) {
+	if p.Trace != nil {
+		p.Trace(ev)
+	}
+}
+
+// TimerOf exposes a node's current timer in ms (testing/analysis).
+func (p *Protocol) TimerOf(slot int) (float64, bool) {
+	st, ok := p.nodes[slot]
+	if !ok {
+		return 0, false
+	}
+	return st.timerMS, true
+}
+
+// Registered reports how many slots are under protocol control.
+func (p *Protocol) Registered() int { return len(p.nodes) }

@@ -1,0 +1,226 @@
+package core
+
+// White-box tests for the protocol internals: the neighborQ semantics of
+// §3.2 (priority selection, demotion to the tail, reconciliation after
+// topology changes) and the trade-selection constraints of §3.1.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/overlay"
+	"repro/internal/rng"
+)
+
+func tinyOverlay(t *testing.T, hosts []int) *overlay.Overlay {
+	t.Helper()
+	o, err := overlay.New(hosts, func(a, b int) float64 { return math.Abs(float64(a - b)) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestQueueInitIsPermutationOfNeighbors(t *testing.T) {
+	o := tinyOverlay(t, []int{0, 10, 20, 30, 40})
+	for _, v := range []int{1, 2, 3, 4} {
+		if err := o.AddEdge(0, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := New(o, DefaultConfig(PROPG), rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &nodeState{slot: 0}
+	p.initQueue(st)
+	if len(st.queue) != 4 {
+		t.Fatalf("queue length %d", len(st.queue))
+	}
+	seen := map[int]bool{}
+	for _, qe := range st.queue {
+		if qe.prio != 0 {
+			t.Fatalf("initial priority %d != 0", qe.prio)
+		}
+		if seen[qe.neighbor] {
+			t.Fatalf("neighbor %d queued twice", qe.neighbor)
+		}
+		seen[qe.neighbor] = true
+	}
+	for _, v := range []int{1, 2, 3, 4} {
+		if !seen[v] {
+			t.Fatalf("neighbor %d missing from queue", v)
+		}
+	}
+}
+
+func TestPickFirstHopPrefersLowPriorityThenFIFO(t *testing.T) {
+	st := &nodeState{
+		queue: []queueEntry{
+			{neighbor: 7, prio: 2, seq: 0},
+			{neighbor: 8, prio: 1, seq: 5},
+			{neighbor: 9, prio: 1, seq: 3},
+		},
+	}
+	idx := st.pickFirstHop()
+	if st.queue[idx].neighbor != 9 {
+		t.Fatalf("picked %d, want 9 (lowest prio, earliest seq)", st.queue[idx].neighbor)
+	}
+	empty := &nodeState{}
+	if empty.pickFirstHop() != -1 {
+		t.Fatal("empty queue should pick -1")
+	}
+}
+
+func TestMaxPrio(t *testing.T) {
+	st := &nodeState{queue: []queueEntry{{prio: -3}, {prio: 4}, {prio: 0}}}
+	if st.maxPrio() != 4 {
+		t.Fatalf("maxPrio = %d", st.maxPrio())
+	}
+	if (&nodeState{}).maxPrio() != 0 {
+		t.Fatal("empty maxPrio != 0")
+	}
+}
+
+func TestReconcileQueueDropsStaleAddsFresh(t *testing.T) {
+	o := tinyOverlay(t, []int{0, 10, 20, 30})
+	o.AddEdge(0, 1)
+	o.AddEdge(0, 2)
+	p, err := New(o, DefaultConfig(PROPG), rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &nodeState{slot: 0}
+	p.initQueue(st)
+	// Bump priorities so the front insertion is observable.
+	for i := range st.queue {
+		st.queue[i].prio = 5
+	}
+	// Topology change: drop 1, add 3.
+	o.RemoveEdge(0, 1)
+	o.AddEdge(0, 3)
+	p.reconcileQueue(st)
+	var neighbors []int
+	minPrio := 1 << 30
+	var freshPrio int
+	for _, qe := range st.queue {
+		neighbors = append(neighbors, qe.neighbor)
+		if qe.neighbor == 3 {
+			freshPrio = qe.prio
+		}
+		if qe.prio < minPrio {
+			minPrio = qe.prio
+		}
+	}
+	if len(neighbors) != 2 {
+		t.Fatalf("queue = %v", neighbors)
+	}
+	for _, nb := range neighbors {
+		if nb == 1 {
+			t.Fatal("stale neighbor 1 kept")
+		}
+	}
+	// The fresh neighbor must sit at the queue front (strictly lowest
+	// priority — §3.2's churn rule).
+	if freshPrio != minPrio || freshPrio >= 5 {
+		t.Fatalf("fresh neighbor priority %d not at front (min %d)", freshPrio, minPrio)
+	}
+}
+
+func TestSelectTradeConstraints(t *testing.T) {
+	// u=0 neighbors {2,3,4}; v=1 neighbors {4,5,6}; path = [0,3,1] so 3 is
+	// banned for u; 4 is adjacent to both so banned both ways.
+	o := tinyOverlay(t, []int{0, 100, 20, 30, 40, 50, 60})
+	edges := [][2]int{{0, 2}, {0, 3}, {0, 4}, {1, 4}, {1, 5}, {1, 6}, {0, 1}}
+	for _, e := range edges {
+		if err := o.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg := DefaultConfig(PROPO)
+	cfg.M = 3
+	p, err := New(o, cfg, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	give, take := p.selectTrade(0, 1, []int{0, 3, 1})
+	// Eligible for u: {2} (3 on path, 4 adjacent to v). For v: {5,6}
+	// (4 adjacent to u). Equal sizes => m_eff = 1.
+	if len(give) != 1 || len(take) != 1 {
+		t.Fatalf("trade sizes: give=%v take=%v", give, take)
+	}
+	if give[0] != 2 {
+		t.Fatalf("give = %v, want [2]", give)
+	}
+	if take[0] != 5 && take[0] != 6 {
+		t.Fatalf("take = %v, want 5 or 6", take)
+	}
+	// With everything banned, no trade.
+	give, take = p.selectTrade(0, 1, []int{0, 1, 2, 3, 4, 5, 6})
+	if give != nil || take != nil {
+		t.Fatalf("fully banned trade returned %v/%v", give, take)
+	}
+}
+
+func TestMeasureHostsNoise(t *testing.T) {
+	o := tinyOverlay(t, []int{0, 100})
+	o.AddEdge(0, 1)
+	cfg := DefaultConfig(PROPG)
+	cfg.MeasurementNoise = 0.5
+	p, err := New(o, cfg, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	varies := false
+	sum := 0.0
+	const draws = 2000
+	for i := 0; i < draws; i++ {
+		m := p.measureHosts(0, 100)
+		if m < 0 {
+			t.Fatalf("negative measurement %v", m)
+		}
+		if m != 100 {
+			varies = true
+		}
+		sum += m
+	}
+	if !varies {
+		t.Fatal("noise configured but measurements constant")
+	}
+	if mean := sum / draws; math.Abs(mean-100) > 5 {
+		t.Fatalf("noisy measurement mean %v far from truth 100", mean)
+	}
+	// Zero noise is exact.
+	exact, err := New(o, DefaultConfig(PROPG), rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := exact.measureHosts(0, 100); m != 100 {
+		t.Fatalf("exact measurement = %v", m)
+	}
+}
+
+func TestFindPartnerRandomProbeAvoidsSelf(t *testing.T) {
+	o := tinyOverlay(t, []int{0, 10, 20})
+	o.AddEdge(0, 1)
+	o.AddEdge(1, 2)
+	cfg := DefaultConfig(PROPG)
+	cfg.RandomProbe = true
+	cfg.NHops = 0
+	p, err := New(o, cfg, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		v, path, ok := p.findPartner(0, 1)
+		if !ok {
+			t.Fatal("random probe failed on live overlay")
+		}
+		if v == 0 {
+			t.Fatal("random probe returned self")
+		}
+		if len(path) != 2 || path[0] != 0 || path[1] != v {
+			t.Fatalf("random probe path = %v", path)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+// Package dhttest provides a conformance harness run by every DHT
+// substrate's test suite (Chord, CAN, Pastry, Kademlia). The reproduction
+// leans on the same contract from each geometry — deterministic ownership,
+// lookups that terminate at the owner, correct per-hop accounting, and
+// invariance of routing under PROP-G host swaps — so the contract is
+// encoded once and each package plugs in an adapter.
+package dhttest
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/overlay"
+	"repro/internal/rng"
+)
+
+// DHT is the adapter each substrate implements for the harness. Keys are
+// uint32; substrates with a different key space (CAN's points) map them
+// deterministically.
+type DHT interface {
+	// Overlay exposes the underlying slot/host overlay.
+	Overlay() *overlay.Overlay
+	// Owner returns the slot responsible for key.
+	Owner(key uint32) int
+	// Lookup routes from src toward key and reports the terminal slot, hop
+	// count, and latency (including proc delays when proc is non-nil).
+	Lookup(src int, key uint32, proc overlay.ProcDelayFunc) (owner, hops int, latency float64, err error)
+}
+
+// Builder constructs a DHT instance over the given hosts for one test.
+type Builder func(hosts []int, lat overlay.LatencyFunc, r *rng.Rand) (DHT, error)
+
+// lineLat is the harness's deterministic latency function.
+func lineLat(a, b int) float64 { return math.Abs(float64(a - b)) }
+
+// Run exercises the full conformance battery against build.
+func Run(t *testing.T, build Builder) {
+	t.Helper()
+	t.Run("LookupReachesOwner", func(t *testing.T) { runOwner(t, build) })
+	t.Run("SelfLookupIsFree", func(t *testing.T) { runSelf(t, build) })
+	t.Run("ProcDelayAccounting", func(t *testing.T) { runProc(t, build) })
+	t.Run("SwapInvariance", func(t *testing.T) { runSwap(t, build) })
+	t.Run("LatencyNonNegative", func(t *testing.T) { runNonNegative(t, build) })
+}
+
+func mustBuild(t *testing.T, build Builder, n int, seed uint64) DHT {
+	t.Helper()
+	hosts := make([]int, n)
+	for i := range hosts {
+		hosts[i] = i * 7
+	}
+	d, err := build(hosts, lineLat, rng.New(seed))
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return d
+}
+
+func runOwner(t *testing.T, build Builder) {
+	d := mustBuild(t, build, 128, 1)
+	r := rng.New(2)
+	for i := 0; i < 300; i++ {
+		key := uint32(r.Uint64())
+		src := r.Intn(128)
+		owner, _, _, err := d.Lookup(src, key, nil)
+		if err != nil {
+			t.Fatalf("lookup %d: %v", i, err)
+		}
+		if owner != d.Owner(key) {
+			t.Fatalf("lookup terminated at %d, owner is %d", owner, d.Owner(key))
+		}
+	}
+}
+
+func runSelf(t *testing.T, build Builder) {
+	d := mustBuild(t, build, 64, 3)
+	r := rng.New(4)
+	checked := 0
+	for i := 0; i < 2000 && checked < 20; i++ {
+		key := uint32(r.Uint64())
+		src := d.Owner(key)
+		owner, hops, latency, err := d.Lookup(src, key, nil)
+		if err != nil {
+			t.Fatalf("self lookup: %v", err)
+		}
+		if owner != src || hops != 0 || latency != 0 {
+			t.Fatalf("self lookup not free: owner=%d hops=%d latency=%v (src %d)",
+				owner, hops, latency, src)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no self lookups exercised")
+	}
+}
+
+func runProc(t *testing.T, build Builder) {
+	d := mustBuild(t, build, 96, 5)
+	r := rng.New(6)
+	for i := 0; i < 50; i++ {
+		key := uint32(r.Uint64())
+		src := r.Intn(96)
+		_, hops, base, err := d.Lookup(src, key, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const delta = 13.0
+		_, hops2, withProc, err := d.Lookup(src, key, func(int) float64 { return delta })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hops != hops2 {
+			t.Fatalf("proc delay changed the route: %d vs %d hops", hops, hops2)
+		}
+		if math.Abs(withProc-base-float64(hops)*delta) > 1e-9 {
+			t.Fatalf("proc accounting: base %v, with %v, hops %d", base, withProc, hops)
+		}
+	}
+}
+
+func runSwap(t *testing.T, build Builder) {
+	d := mustBuild(t, build, 128, 7)
+	r := rng.New(8)
+	// Record owners for a fixed key set.
+	keys := make([]uint32, 100)
+	owners := make([]int, len(keys))
+	for i := range keys {
+		keys[i] = uint32(r.Uint64())
+		owners[i] = d.Owner(keys[i])
+	}
+	// PROP-G activity: random host swaps.
+	o := d.Overlay()
+	for i := 0; i < 80; i++ {
+		u, v := r.Intn(128), r.Intn(128)
+		if u != v {
+			if err := o.SwapHosts(u, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Ownership is slot-attached, so it must be untouched; lookups must
+	// still terminate there.
+	for i, key := range keys {
+		if got := d.Owner(key); got != owners[i] {
+			t.Fatalf("owner of key %d changed under host swaps: %d -> %d", key, owners[i], got)
+		}
+		owner, _, _, err := d.Lookup(r.Intn(128), key, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if owner != owners[i] {
+			t.Fatalf("lookup diverged from owner after swaps")
+		}
+	}
+}
+
+func runNonNegative(t *testing.T, build Builder) {
+	d := mustBuild(t, build, 64, 9)
+	r := rng.New(10)
+	for i := 0; i < 200; i++ {
+		_, hops, latency, err := d.Lookup(r.Intn(64), uint32(r.Uint64()), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if latency < 0 || hops < 0 {
+			t.Fatalf("negative accounting: hops=%d latency=%v", hops, latency)
+		}
+		if hops == 0 && latency != 0 {
+			t.Fatalf("zero hops with latency %v", latency)
+		}
+	}
+}

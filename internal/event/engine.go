@@ -1,0 +1,172 @@
+// Package event implements the discrete-event simulation engine that drives
+// the PROP protocols: node timers, probes, exchanges, lookups, and churn are
+// all events on a single simulated clock measured in milliseconds.
+//
+// The engine is deliberately sequential — a P2P protocol simulation needs a
+// total order on events to be reproducible — while the experiment harness
+// achieves parallelism by running many independent engines (one per trial
+// seed) concurrently.
+package event
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is simulated time in milliseconds since the start of the run.
+type Time float64
+
+// Handler is the body of a scheduled event. It runs with the engine clock
+// set to the event's due time and may schedule further events.
+type Handler func(e *Engine)
+
+// Engine is a discrete-event simulator. The zero value is ready to use.
+type Engine struct {
+	now   Time
+	queue eventHeap
+	seq   uint64 // tie-breaker: FIFO among equal-time events
+	steps uint64
+}
+
+// New returns an empty engine with the clock at 0.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Steps reports how many events have been executed so far.
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// Pending reports how many events are scheduled but not yet executed.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules h to run at absolute time t. Scheduling in the past (before
+// Now) panics: it indicates a protocol bug, not an environmental condition.
+// It returns a token that can cancel the event.
+func (e *Engine) At(t Time, h Handler) *Token {
+	if t < e.now {
+		panic(fmt.Sprintf("event: scheduling at %v before now %v", t, e.now))
+	}
+	if h == nil {
+		panic("event: nil handler")
+	}
+	ev := &item{at: t, seq: e.seq, h: h}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return &Token{item: ev}
+}
+
+// After schedules h to run delay milliseconds from now. Negative delays
+// panic.
+func (e *Engine) After(delay Time, h Handler) *Token {
+	return e.At(e.now+delay, h)
+}
+
+// Step executes the single earliest pending event and reports whether one
+// existed.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*item)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		e.steps++
+		ev.h(e)
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events in order until the clock would pass deadline or
+// the queue drains. Events scheduled exactly at the deadline run. On return
+// the clock is advanced to the deadline (even if the queue drained earlier)
+// so that periodic measurement loops observe uniform time.
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.queue) > 0 {
+		next := e.peek()
+		if next == nil {
+			break
+		}
+		if next.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Run executes events until the queue is empty or maxSteps events have run
+// (a safety valve against runaway schedules; pass 0 for no limit). It
+// returns the number of events executed.
+func (e *Engine) Run(maxSteps uint64) uint64 {
+	var n uint64
+	for {
+		if maxSteps > 0 && n >= maxSteps {
+			return n
+		}
+		if !e.Step() {
+			return n
+		}
+		n++
+	}
+}
+
+func (e *Engine) peek() *item {
+	for len(e.queue) > 0 {
+		if !e.queue[0].cancelled {
+			return e.queue[0]
+		}
+		heap.Pop(&e.queue)
+	}
+	return nil
+}
+
+// Token cancels a scheduled event.
+type Token struct{ item *item }
+
+// Cancel marks the event as cancelled; it will be skipped when its time
+// comes. Cancelling twice (or after execution) is a no-op.
+func (t *Token) Cancel() {
+	if t != nil && t.item != nil {
+		t.item.cancelled = true
+	}
+}
+
+type item struct {
+	at        Time
+	seq       uint64
+	h         Handler
+	cancelled bool
+	index     int
+}
+
+type eventHeap []*item
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x interface{}) {
+	it := x.(*item)
+	it.index = len(*h)
+	*h = append(*h, it)
+}
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}

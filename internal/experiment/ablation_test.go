@@ -1,0 +1,81 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestAblationsRegistered(t *testing.T) {
+	for _, id := range []string{"warmup", "minvar"} {
+		if Describe(id) == "" {
+			t.Errorf("%s not registered", id)
+		}
+	}
+}
+
+func TestWarmupAblationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation in -short mode")
+	}
+	res, err := Run("warmup", Options{Seed: 5, Trials: 2, Scale: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var latency, probes stats.Series
+	for _, s := range res.Series {
+		switch s.Label {
+		case "final mean link latency (ms)":
+			latency = s
+		case "probes per node":
+			probes = s
+		}
+	}
+	if latency.Len() != 6 || probes.Len() != 6 {
+		t.Fatalf("series lengths %d/%d", latency.Len(), probes.Len())
+	}
+	// A 1-probe warm-up must end worse than the 10-probe default.
+	if latency.YAt(1) <= latency.YAt(10) {
+		t.Errorf("warm-up=1 latency %.1f not above warm-up=10 %.1f", latency.YAt(1), latency.YAt(10))
+	}
+	// Longer warm-ups cost strictly more probes.
+	if probes.YAt(40) <= probes.YAt(10) || probes.YAt(10) <= probes.YAt(1) {
+		t.Errorf("probe cost not increasing in warm-up length: %v", probes.Y)
+	}
+	// Diminishing returns per added warm-up probe: the 1→10 stretch must
+	// buy more latency per probe than the 10→40 stretch.
+	perProbeEarly := (latency.YAt(1) - latency.YAt(10)) / 9
+	perProbeLate := (latency.YAt(10) - latency.YAt(40)) / 30
+	if perProbeLate >= perProbeEarly {
+		t.Errorf("no diminishing returns: early %.2f ms/probe, late %.2f ms/probe",
+			perProbeEarly, perProbeLate)
+	}
+}
+
+func TestMinVarAblationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation in -short mode")
+	}
+	res, err := Run("minvar", Options{Seed: 5, Trials: 2, Scale: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var latency, exchanges stats.Series
+	for _, s := range res.Series {
+		switch s.Label {
+		case "final mean link latency (ms)":
+			latency = s
+		case "exchanges executed":
+			exchanges = s
+		}
+	}
+	// Zero threshold must beat the largest threshold.
+	if latency.YAt(0) >= latency.YAt(400) {
+		t.Errorf("MIN_VAR=0 latency %.1f not below MIN_VAR=400 %.1f", latency.YAt(0), latency.YAt(400))
+	}
+	// Exchange counts must fall as the gate rises (weakly, allowing noise
+	// between adjacent points but strictly end to end).
+	if exchanges.YAt(0) <= exchanges.YAt(400) {
+		t.Errorf("exchanges not decreasing: %v", exchanges.Y)
+	}
+}

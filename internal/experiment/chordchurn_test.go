@@ -1,0 +1,50 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestChordChurnShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chordchurn in -short mode")
+	}
+	res, err := Run("chordchurn", Options{Seed: 6, Trials: 1, Scale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var probes, correct stats.Series
+	for _, s := range res.Series {
+		switch s.Label {
+		case "probes/node/min":
+			probes = s
+		case "correct fraction":
+			correct = s
+		}
+	}
+	if probes.Len() == 0 || correct.Len() == 0 {
+		t.Fatalf("missing series: %+v", res.Series)
+	}
+	// The structured invariant: every sampled lookup reaches the true
+	// owner at every minute, churn or not.
+	for i, y := range correct.Y {
+		if y != 1.0 {
+			t.Errorf("minute %v: correct fraction %.4f", correct.X[i], y)
+		}
+	}
+	// Probe spike inside the window vs the trough just before it.
+	pre := probes.YAt(19)
+	peak := 0.0
+	for i, x := range probes.X {
+		if x > 20 && x <= 36 && probes.Y[i] > peak {
+			peak = probes.Y[i]
+		}
+	}
+	if peak <= pre {
+		t.Errorf("no churn spike: pre=%.3f peak=%.3f", pre, peak)
+	}
+	if tail := probes.Final(); tail >= peak {
+		t.Errorf("probe rate did not decay: peak=%.3f tail=%.3f", peak, tail)
+	}
+}

@@ -1,0 +1,205 @@
+// Package experiment defines one runnable reproduction per figure of the
+// paper's evaluation (§5), plus the overhead and churn analyses promised in
+// §4.3 and a combination study (§1, §6: "combining them with other recent
+// mechanisms will further improve their performance").
+//
+// Every experiment is deterministic in (Seed, Trials, Scale) and returns a
+// Result holding the same series the paper plots. Trials run in parallel —
+// each on its own physical network, overlay, and RNG stream — and are
+// averaged point-wise.
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/stats"
+)
+
+// Options controls an experiment run.
+type Options struct {
+	// Seed selects the deterministic RNG universe. Default 1.
+	Seed uint64
+	// Trials is the number of independent repetitions averaged. Default 3.
+	Trials int
+	// Scale in (0,1] shrinks node counts and workload sizes for quick runs
+	// (benchmarks, -short tests). 1.0 reproduces the paper's scale.
+	Scale float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Trials <= 0 {
+		o.Trials = 3
+	}
+	if o.Scale <= 0 || o.Scale > 1 {
+		o.Scale = 1
+	}
+	return o
+}
+
+// scaled shrinks n by the scale factor with a floor.
+func scaled(n int, scale float64, min int) int {
+	v := int(float64(n) * scale)
+	if v < min {
+		v = min
+	}
+	return v
+}
+
+// Result is the reproduced figure or table.
+type Result struct {
+	// ID is the experiment identifier (e.g. "fig5a").
+	ID string
+	// Title restates the paper artifact.
+	Title string
+	// XLabel and YLabel name the axes.
+	XLabel, YLabel string
+	// Series holds one curve per line of the figure.
+	Series []stats.Series
+	// Notes carries reproduction commentary (scale, substitutions, the
+	// qualitative checks that passed).
+	Notes []string
+}
+
+// Render writes the result as a fixed-width table: one row per x value, one
+// column per series.
+func (r *Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	if len(r.Series) == 0 {
+		fmt.Fprintln(w, "(no data)")
+		return
+	}
+	// Collect the union of x values.
+	xset := map[float64]bool{}
+	for _, s := range r.Series {
+		for _, x := range s.X {
+			xset[x] = true
+		}
+	}
+	xs := make([]float64, 0, len(xset))
+	for x := range xset {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+
+	header := fmt.Sprintf("%12s", r.XLabel)
+	for _, s := range r.Series {
+		header += fmt.Sprintf("  %18s", s.Label)
+	}
+	fmt.Fprintln(w, header)
+	fmt.Fprintln(w, strings.Repeat("-", len(header)))
+	for _, x := range xs {
+		row := fmt.Sprintf("%12.3g", x)
+		for _, s := range r.Series {
+			y := s.YAt(x)
+			if math.IsNaN(y) {
+				row += fmt.Sprintf("  %18s", "-")
+			} else {
+				row += fmt.Sprintf("  %18.3f", y)
+			}
+		}
+		fmt.Fprintln(w, row)
+	}
+	fmt.Fprintf(w, "(y axis: %s)\n", r.YLabel)
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}
+
+// runner executes one experiment.
+type runner struct {
+	describe string
+	run      func(Options) (*Result, error)
+}
+
+var registry = map[string]runner{
+	"fig5a":    {"Fig. 5(a): PROP-G in Gnutella, lookup latency vs time, varying TTL", runFig5a},
+	"fig5b":    {"Fig. 5(b): PROP-G in Gnutella, varying system size", runFig5b},
+	"fig5c":    {"Fig. 5(c): PROP-G in Gnutella, varying physical topology", runFig5c},
+	"fig6a":    {"Fig. 6(a): PROP-G in Chord, stretch vs time, varying TTL", runFig6a},
+	"fig6b":    {"Fig. 6(b): PROP-G in Chord, varying system size", runFig6b},
+	"fig6c":    {"Fig. 6(c): PROP-G in Chord, varying physical topology", runFig6c},
+	"fig7":     {"Fig. 7: PROP-O vs PROP-G vs LTM under bimodal processing delay", runFig7},
+	"overhead": {"§4.3: messages per adjustment, measured vs model", runOverhead},
+	"churn":    {"§3.2/§4.3: probe frequency and stretch under churn", runChurn},
+	"combo":    {"§1/§6: PROP-G combined with PNS (Chord) and PIS (CAN)", runCombo},
+}
+
+// IDs lists all experiment identifiers in sorted order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Describe returns the one-line description of an experiment, or "".
+func Describe(id string) string { return registry[id].describe }
+
+// Run executes the experiment with the given options.
+func Run(id string, opt Options) (*Result, error) {
+	entry, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiment: unknown id %q (known: %s)", id, strings.Join(IDs(), ", "))
+	}
+	return entry.run(opt.withDefaults())
+}
+
+// forEachTrial runs body for every trial index in parallel and returns the
+// per-trial outputs in index order. body must be self-contained (own RNG,
+// own network). The first error wins.
+func forEachTrial(trials int, body func(trial int) ([]stats.Series, error)) ([][]stats.Series, error) {
+	out := make([][]stats.Series, trials)
+	errs := make([]error, trials)
+	var wg sync.WaitGroup
+	for t := 0; t < trials; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			out[t], errs[t] = body(t)
+		}(t)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// mergeTrials averages the i-th series across trials for every i.
+func mergeTrials(perTrial [][]stats.Series) []stats.Series {
+	if len(perTrial) == 0 {
+		return nil
+	}
+	nSeries := len(perTrial[0])
+	out := make([]stats.Series, nSeries)
+	for i := 0; i < nSeries; i++ {
+		group := make([]stats.Series, 0, len(perTrial))
+		for _, trial := range perTrial {
+			group = append(group, trial[i])
+		}
+		out[i] = stats.MergeMean(perTrial[0][i].Label, group)
+	}
+	return out
+}
+
+// trialSeed derives a distinct deterministic seed per (experiment seed,
+// trial index) pair.
+func trialSeed(base uint64, trial int) uint64 {
+	x := base ^ (uint64(trial)+1)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	return x
+}

@@ -1,0 +1,49 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestInflightShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("inflight experiment in -short mode")
+	}
+	res, err := Run("inflight", Options{Seed: 4, Trials: 1, Scale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var correct, stale, exchanges stats.Series
+	for _, s := range res.Series {
+		switch s.Label {
+		case "correct fraction":
+			correct = s
+		case "stale arrivals per 1000 lookups":
+			stale = s
+		case "exchanges during run":
+			exchanges = s
+		}
+	}
+	if correct.Len() != 4 {
+		t.Fatalf("series shape: %+v", res.Series)
+	}
+	// The paper's mechanism: correctness never degrades, at any pressure.
+	for i, y := range correct.Y {
+		if y != 1.0 {
+			t.Errorf("variant %d: correct fraction %.4f", i, y)
+		}
+	}
+	// Quiet baseline has no stale arrivals and no exchanges.
+	if stale.Y[0] != 0 || exchanges.Y[0] != 0 {
+		t.Errorf("quiet variant not quiet: stale=%v exchanges=%v", stale.Y[0], exchanges.Y[0])
+	}
+	// Pressure must rise monotonically across the variants and actually
+	// exercise the cache at the hostile setting.
+	if exchanges.Y[3] <= exchanges.Y[1] {
+		t.Errorf("exchange pressure not rising: %v", exchanges.Y)
+	}
+	if stale.Y[3] == 0 {
+		t.Error("hostile variant produced no stale arrivals — cache untested")
+	}
+}

@@ -1,0 +1,104 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/kademlia"
+	"repro/internal/netsim"
+	"repro/internal/stats"
+)
+
+// The kademlia experiment closes the DHT-geometry sweep: ring (Chord),
+// torus (CAN), prefix tree (Pastry), and now the XOR metric. Kademlia's
+// k-buckets give the proximity baseline maximal freedom — any k contacts
+// per XOR subtree qualify — making it the strongest "protocol-specific
+// method" PROP-G is compared against and combined with.
+
+func init() {
+	registry["kademlia"] = runner{
+		describe: "extension: PROP-G on Kademlia, alone and with proximity k-buckets",
+		run:      runKademlia,
+	}
+}
+
+func runKademlia(opt Options) (*Result, error) {
+	perTrial, err := forEachTrial(opt.Trials, func(trial int) ([]stats.Series, error) {
+		return oneKademliaTrial(opt, trialSeed(opt.Seed, trial))
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		ID:     "kademlia",
+		Title:  "PROP-G on Kademlia (final routing stretch after optimization)",
+		XLabel: "method",
+		YLabel: "stretch",
+		Series: mergeTrials(perTrial),
+		Notes: []string{
+			"method index: 0=plain, 1=proximity k-buckets only, 2=PROP-G only, 3=proximity + PROP-G",
+			"expected shape: all optimized variants beat plain; the combination is at least as good as either alone",
+			fmt.Sprintf("scale=%.2f seed=%d trials=%d", opt.Scale, opt.Seed, opt.Trials),
+		},
+	}, nil
+}
+
+func oneKademliaTrial(opt Options, seed uint64) ([]stats.Series, error) {
+	e, err := newEnv(netsim.TSLarge(), seed)
+	if err != nil {
+		return nil, err
+	}
+	n := scaled(1000, opt.Scale, 100)
+	nLookups := scaled(paperLookups, opt.Scale, 100)
+
+	series := stats.Series{Label: "Kademlia"}
+	for idx, variant := range []struct {
+		prox bool
+		prop bool
+	}{{false, false}, {true, false}, {false, true}, {true, true}} {
+		cfg := kademlia.DefaultConfig()
+		cfg.Proximity = variant.prox
+		net, err := kademlia.Build(e.pickHosts(n), cfg, e.oracle.Latency, e.r)
+		if err != nil {
+			return nil, err
+		}
+		if variant.prop {
+			p, err := core.New(net.O, core.DefaultConfig(core.PROPG), e.r.Split())
+			if err != nil {
+				return nil, err
+			}
+			eng := event.New()
+			p.Start(eng)
+			eng.RunUntil(horizonMS)
+			net.Refresh(e.oracle.Latency)
+		}
+		series.Add(float64(idx), kademliaRoutingStretch(net, e, nLookups))
+	}
+	return []stats.Series{series}, nil
+}
+
+// kademliaRoutingStretch mirrors routingStretch for the XOR network.
+func kademliaRoutingStretch(net *kademlia.Net, e *env, count int) float64 {
+	r := e.r.Split()
+	slots := net.O.AliveSlots()
+	sum, n := 0.0, 0
+	for i := 0; i < count; i++ {
+		src := slots[r.Intn(len(slots))]
+		key := kademlia.RandomKey(r)
+		res, err := net.Lookup(src, key, nil)
+		if err != nil || res.Owner == src {
+			continue
+		}
+		direct := e.oracle.Latency(net.O.HostOf(src), net.O.HostOf(res.Owner))
+		if direct <= 0 {
+			continue
+		}
+		sum += res.Latency / direct
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,46 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestNoiseShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("noise experiment in -short mode")
+	}
+	res, err := Run("noise", Options{Seed: 8, Trials: 2, Scale: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var latency, harmful stats.Series
+	for _, s := range res.Series {
+		switch s.Label {
+		case "final mean link latency (ms)":
+			latency = s
+		case "harmful exchange fraction":
+			harmful = s
+		}
+	}
+	if latency.Len() != 6 || harmful.Len() != 6 {
+		t.Fatalf("series shapes: %d/%d", latency.Len(), harmful.Len())
+	}
+	// No noise ⇒ no harmful exchanges (Var is exact and the gate is > 0).
+	if harmful.YAt(0) != 0 {
+		t.Errorf("harmful fraction %.3f at σ=0", harmful.YAt(0))
+	}
+	// Extreme noise must be worse than exact measurements…
+	if latency.YAt(2.0) <= latency.YAt(0) {
+		t.Errorf("σ=2 latency %.1f not above σ=0 %.1f", latency.YAt(2.0), latency.YAt(0))
+	}
+	// …but moderate noise must stay close to exact: the averaging in Var is
+	// the robustness mechanism under test.
+	if latency.YAt(0.1) > latency.YAt(0)*1.10 {
+		t.Errorf("σ=0.1 latency %.1f degraded >10%% vs exact %.1f", latency.YAt(0.1), latency.YAt(0))
+	}
+	// Harmful fraction grows with noise.
+	if harmful.YAt(1.0) <= harmful.YAt(0.1) {
+		t.Errorf("harmful fraction not growing: %v", harmful.Y)
+	}
+}

@@ -1,0 +1,223 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// WriteCSV emits the result as one CSV table: the first column is the x
+// value, one column per series (empty cell where a series has no point).
+func (r *Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{r.XLabel}
+	for _, s := range r.Series {
+		header = append(header, s.Label)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, x := range r.xUnion() {
+		row := []string{formatFloat(x)}
+		for _, s := range r.Series {
+			y := s.YAt(x)
+			if math.IsNaN(y) {
+				row = append(row, "")
+			} else {
+				row = append(row, formatFloat(y))
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON emits the full result (metadata, series, notes) as indented
+// JSON, one document.
+func (r *Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// xUnion returns the sorted union of the x values of all series.
+func (r *Result) xUnion() []float64 {
+	set := map[float64]bool{}
+	for _, s := range r.Series {
+		for _, x := range s.X {
+			set[x] = true
+		}
+	}
+	xs := make([]float64, 0, len(set))
+	for x := range set {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	return xs
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}
+
+// WriteMarkdown emits the result as a Markdown section: a heading, the
+// series as a table, and the notes as a bullet list. cmd/propreport strings
+// these together into a full reproduction report.
+func (r *Result) WriteMarkdown(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "## `%s` — %s\n\n", r.ID, r.Title); err != nil {
+		return err
+	}
+	if len(r.Series) == 0 {
+		_, err := fmt.Fprintln(w, "(no data)")
+		return err
+	}
+	header := "| " + r.XLabel + " |"
+	sep := "|---|"
+	for _, s := range r.Series {
+		header += " " + s.Label + " |"
+		sep += "---|"
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, sep); err != nil {
+		return err
+	}
+	for _, x := range r.xUnion() {
+		row := "| " + formatFloat(x) + " |"
+		for _, s := range r.Series {
+			y := s.YAt(x)
+			if math.IsNaN(y) {
+				row += " — |"
+			} else {
+				row += " " + strconv.FormatFloat(y, 'f', 3, 64) + " |"
+			}
+		}
+		if _, err := fmt.Fprintln(w, row); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	for _, n := range r.Notes {
+		if _, err := fmt.Fprintf(w, "- %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// Plot renders the result as an ASCII line chart: one glyph per series,
+// a y-axis with min/max labels, and a legend. width and height are the
+// plot-area dimensions in characters (sane floors apply).
+func (r *Result) Plot(w io.Writer, width, height int) {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	glyphs := []byte{'*', '+', 'o', 'x', '#', '@', '%', '&', '$', '~'}
+	xs := r.xUnion()
+	if len(xs) == 0 {
+		fmt.Fprintln(w, "(no data to plot)")
+		return
+	}
+	xmin, xmax := xs[0], xs[len(xs)-1]
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range r.Series {
+		for _, y := range s.Y {
+			if y < ymin {
+				ymin = y
+			}
+			if y > ymax {
+				ymax = y
+			}
+		}
+	}
+	if math.IsInf(ymin, 1) {
+		fmt.Fprintln(w, "(no data to plot)")
+		return
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = make([]byte, width)
+		for j := range grid[i] {
+			grid[i][j] = ' '
+		}
+	}
+	col := func(x float64) int {
+		c := int((x - xmin) / (xmax - xmin) * float64(width-1))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	row := func(y float64) int {
+		rr := int((ymax - y) / (ymax - ymin) * float64(height-1))
+		if rr < 0 {
+			rr = 0
+		}
+		if rr >= height {
+			rr = height - 1
+		}
+		return rr
+	}
+	for si, s := range r.Series {
+		g := glyphs[si%len(glyphs)]
+		for i := range s.X {
+			grid[row(s.Y[i])][col(s.X[i])] = g
+		}
+	}
+
+	fmt.Fprintf(w, "%s — %s\n", r.ID, r.Title)
+	yTop := fmt.Sprintf("%.3g", ymax)
+	yBot := fmt.Sprintf("%.3g", ymin)
+	pad := len(yTop)
+	if len(yBot) > pad {
+		pad = len(yBot)
+	}
+	for i, line := range grid {
+		label := ""
+		switch i {
+		case 0:
+			label = yTop
+		case height - 1:
+			label = yBot
+		}
+		fmt.Fprintf(w, "%*s |%s\n", pad, label, string(line))
+	}
+	fmt.Fprintf(w, "%*s +%s\n", pad, "", dashes(width))
+	fmt.Fprintf(w, "%*s  %-*.3g%*.3g\n", pad, "", width/2, xmin, width-width/2, xmax)
+	fmt.Fprintf(w, "x: %s, y: %s\n", r.XLabel, r.YLabel)
+	for si, s := range r.Series {
+		fmt.Fprintf(w, "  %c  %s\n", glyphs[si%len(glyphs)], s.Label)
+	}
+}
+
+func dashes(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '-'
+	}
+	return string(b)
+}

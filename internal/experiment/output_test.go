@@ -1,0 +1,122 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func sampleResult() *Result {
+	return &Result{
+		ID: "demo", Title: "Demo", XLabel: "x", YLabel: "y",
+		Series: []stats.Series{
+			{Label: "a", X: []float64{0, 1, 2}, Y: []float64{1, 4, 9}},
+			{Label: "b", X: []float64{0, 2}, Y: []float64{2, 3}},
+		},
+		Notes: []string{"note1"},
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleResult().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 4 { // header + 3 x values
+		t.Fatalf("records = %v", records)
+	}
+	if records[0][0] != "x" || records[0][1] != "a" || records[0][2] != "b" {
+		t.Fatalf("header = %v", records[0])
+	}
+	// x=1 has no value for series b: empty cell.
+	if records[2][0] != "1" || records[2][1] != "4" || records[2][2] != "" {
+		t.Fatalf("row for x=1 = %v", records[2])
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleResult().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Result
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != "demo" || len(back.Series) != 2 || back.Series[0].Y[2] != 9 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if len(back.Notes) != 1 {
+		t.Fatalf("notes lost: %+v", back.Notes)
+	}
+}
+
+func TestPlot(t *testing.T) {
+	var buf bytes.Buffer
+	sampleResult().Plot(&buf, 40, 10)
+	out := buf.String()
+	for _, want := range []string{"demo", "*", "+", "a", "b", "x: x, y: y"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+	// Max y label appears on the top row.
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[1], "9") {
+		t.Errorf("top row missing ymax label: %q", lines[1])
+	}
+}
+
+func TestPlotDegenerate(t *testing.T) {
+	var buf bytes.Buffer
+	(&Result{ID: "e"}).Plot(&buf, 10, 3)
+	if !strings.Contains(buf.String(), "no data") {
+		t.Error("empty plot missing placeholder")
+	}
+	// Constant series must not divide by zero.
+	flat := &Result{
+		ID: "flat", Series: []stats.Series{{Label: "c", X: []float64{0, 1}, Y: []float64{5, 5}}},
+	}
+	buf.Reset()
+	flat.Plot(&buf, 30, 6)
+	if !strings.Contains(buf.String(), "c") {
+		t.Error("flat plot missing series")
+	}
+	// Single point.
+	single := &Result{
+		ID: "one", Series: []stats.Series{{Label: "s", X: []float64{3}, Y: []float64{7}}},
+	}
+	buf.Reset()
+	single.Plot(&buf, 30, 6)
+	if !strings.Contains(buf.String(), "s") {
+		t.Error("single-point plot missing series")
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleResult().WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"## `demo`", "| x |", "| a |", "— |", "- note1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := (&Result{ID: "e"}).WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no data") {
+		t.Error("empty markdown missing placeholder")
+	}
+}

@@ -1,0 +1,29 @@
+package experiment
+
+import "testing"
+
+func TestPastryExperimentShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pastry experiment in -short mode")
+	}
+	res, err := Run("pastry", Options{Seed: 5, Trials: 2, Scale: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 1 || res.Series[0].Len() != 4 {
+		t.Fatalf("series shape wrong: %+v", res.Series)
+	}
+	s := res.Series[0]
+	plain, prox, propg, combined := s.Y[0], s.Y[1], s.Y[2], s.Y[3]
+	if prox >= plain {
+		t.Errorf("proximity %.2f not below plain %.2f", prox, plain)
+	}
+	if propg >= plain {
+		t.Errorf("PROP-G %.2f not below plain %.2f", propg, plain)
+	}
+	// Combination must not be materially worse than proximity alone (it
+	// re-picks the same tables after exchanges).
+	if combined > prox*1.1 {
+		t.Errorf("combined %.2f materially worse than proximity %.2f", combined, prox)
+	}
+}

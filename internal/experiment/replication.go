@@ -1,0 +1,94 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/content"
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/netsim"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// The replication experiment grounds the paper's file-sharing motivation:
+// Gnutella queries are satisfied by ANY replica of an item, so the benefit
+// of location-aware topology should interact with replication — when
+// popular items are everywhere, a nearby copy exists regardless of the
+// overlay layout, and the optimizer's headroom shrinks. We sweep the
+// replication factor and measure first-replica flooding latency on the
+// same catalog before and after PROP-G.
+
+func init() {
+	registry["replication"] = runner{
+		describe: "extension: first-replica search latency vs replication factor, before/after PROP-G",
+		run:      runReplication,
+	}
+}
+
+var replicationFactors = []int{1, 2, 4, 8, 16}
+
+func runReplication(opt Options) (*Result, error) {
+	perTrial, err := forEachTrial(opt.Trials, func(trial int) ([]stats.Series, error) {
+		e, err := newEnv(netsim.TSLarge(), trialSeed(opt.Seed, trial))
+		if err != nil {
+			return nil, err
+		}
+		n := scaled(1000, opt.Scale, 100)
+		base, err := e.buildGnutella(n)
+		if err != nil {
+			return nil, err
+		}
+		// Optimize a clone once; catalogs are host-addressed so the same
+		// placement serves both overlays.
+		optimized := base.Clone()
+		p, err := core.New(optimized, core.DefaultConfig(core.PROPG), e.r.Split())
+		if err != nil {
+			return nil, err
+		}
+		eng := event.New()
+		p.Start(eng)
+		eng.RunUntil(horizonMS)
+
+		queries := scaled(paperLookups, opt.Scale, 100)
+		plain := stats.Series{Label: "unoptimized (ms)"}
+		prop := stats.Series{Label: "PROP-G (ms)"}
+		ratio := stats.Series{Label: "PROP-G/unoptimized"}
+		for vi, reps := range replicationFactors {
+			cfg := content.DefaultConfig()
+			cfg.Replicas = reps
+			cfg.Items = scaled(500, opt.Scale, 50)
+			catalog, err := content.Place(base, cfg, rng.New(trialSeed(opt.Seed, 8000+trial*100+vi)))
+			if err != nil {
+				return nil, err
+			}
+			qr := rng.New(trialSeed(opt.Seed, 9000+trial*100+vi))
+			mBase, f1 := catalog.MeanSearchLatency(base, queries, nil, qr)
+			qr2 := rng.New(trialSeed(opt.Seed, 9000+trial*100+vi))
+			mProp, f2 := catalog.MeanSearchLatency(optimized, queries, nil, qr2)
+			if f1 > 0 || f2 > 0 {
+				return nil, fmt.Errorf("replication: %d/%d failed searches", f1, f2)
+			}
+			x := float64(reps)
+			plain.Add(x, mBase)
+			prop.Add(x, mProp)
+			ratio.Add(x, mProp/mBase)
+		}
+		return []stats.Series{plain, prop, ratio}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		ID:     "replication",
+		Title:  "First-replica flooding search latency vs replication factor",
+		XLabel: "replicas per item",
+		YLabel: "mean search latency (ms) | PROP-G ratio",
+		Series: mergeTrials(perTrial),
+		Notes: []string{
+			"items live on machines (Zipf s=0.8 popularity); any replica satisfies a query",
+			"expected: latency falls with replication for both overlays; PROP-G's ~30% relative gain holds across the sweep — location-awareness composes with replication rather than being replaced by it",
+			fmt.Sprintf("scale=%.2f seed=%d trials=%d", opt.Scale, opt.Seed, opt.Trials),
+		},
+	}, nil
+}

@@ -1,0 +1,44 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestReplicationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replication experiment in -short mode")
+	}
+	res, err := Run("replication", Options{Seed: 6, Trials: 2, Scale: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plain, prop, ratio stats.Series
+	for _, s := range res.Series {
+		switch s.Label {
+		case "unoptimized (ms)":
+			plain = s
+		case "PROP-G (ms)":
+			prop = s
+		case "PROP-G/unoptimized":
+			ratio = s
+		}
+	}
+	if plain.Len() != 5 || prop.Len() != 5 || ratio.Len() != 5 {
+		t.Fatalf("series shapes: %d/%d/%d", plain.Len(), prop.Len(), ratio.Len())
+	}
+	// More replicas ⇒ cheaper search, end to end, on both overlays.
+	if plain.Final() >= plain.Y[0] {
+		t.Errorf("unoptimized search not improving with replication: %v", plain.Y)
+	}
+	if prop.Final() >= prop.Y[0] {
+		t.Errorf("PROP-G search not improving with replication: %v", prop.Y)
+	}
+	// PROP-G helps at every replication factor.
+	for i := range ratio.Y {
+		if ratio.Y[i] >= 1 {
+			t.Errorf("PROP-G not helping at %v replicas: ratio %.3f", ratio.X[i], ratio.Y[i])
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestSATMatchShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("satmatch experiment in -short mode")
+	}
+	res, err := Run("satmatch", Options{Seed: 4, Trials: 1, Scale: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLabel := map[string]stats.Series{}
+	for _, s := range res.Series {
+		byLabel[s.Label] = s
+	}
+	plain := byLabel["no optimization"]
+	sat := byLabel["SAT-Match"]
+	prop := byLabel["PROP-G"]
+	if plain.Len() == 0 || sat.Len() == 0 || prop.Len() == 0 {
+		t.Fatalf("missing series: %+v", res.Series)
+	}
+	// All variants share the identical starting ring.
+	if plain.Y[0] != sat.Y[0] || plain.Y[0] != prop.Y[0] {
+		t.Fatalf("variants start apart: %.3f/%.3f/%.3f", plain.Y[0], sat.Y[0], prop.Y[0])
+	}
+	// The unoptimized ring is flat; both optimizers end below it.
+	if plain.Final() != plain.Y[0] {
+		t.Errorf("unoptimized ring drifted: %.3f -> %.3f", plain.Y[0], plain.Final())
+	}
+	if sat.Final() >= plain.Final() {
+		t.Errorf("SAT-Match %.3f not below plain %.3f", sat.Final(), plain.Final())
+	}
+	if prop.Final() >= plain.Final() {
+		t.Errorf("PROP-G %.3f not below plain %.3f", prop.Final(), plain.Final())
+	}
+	// The cost contrast must be reported: SAT-Match mints IDs, PROP-G none.
+	found := false
+	for _, n := range res.Notes {
+		if strings.Contains(n, "minted") && strings.Contains(n, "PROP-G minted 0") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("notes missing the minted-identifier contrast: %v", res.Notes)
+	}
+}

@@ -1,0 +1,49 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+)
+
+// TestAllExperimentsSmoke runs every registered experiment at miniature
+// scale and verifies the structural contract: no error, at least one
+// series, every series non-empty, and no NaN/Inf values. Individual shape
+// tests live next to each experiment; this one guarantees nothing in the
+// registry can rot unnoticed.
+func TestAllExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke sweep in -short mode")
+	}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(id, Options{Seed: 11, Trials: 1, Scale: 0.12})
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if res.ID != id {
+				t.Fatalf("result ID %q != %q", res.ID, id)
+			}
+			if len(res.Series) == 0 {
+				t.Fatal("no series")
+			}
+			for _, s := range res.Series {
+				if s.Len() == 0 {
+					t.Fatalf("series %q empty", s.Label)
+				}
+				if len(s.X) != len(s.Y) {
+					t.Fatalf("series %q ragged: %d x, %d y", s.Label, len(s.X), len(s.Y))
+				}
+				for i, y := range s.Y {
+					if math.IsNaN(y) || math.IsInf(y, 0) {
+						t.Fatalf("series %q has non-finite y at x=%v", s.Label, s.X[i])
+					}
+				}
+			}
+			if len(res.Notes) == 0 {
+				t.Fatal("no notes — every experiment documents its setup")
+			}
+		})
+	}
+}

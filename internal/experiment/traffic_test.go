@@ -1,0 +1,44 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestTrafficShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("traffic experiment in -short mode")
+	}
+	res, err := Run("traffic", Options{Seed: 9, Trials: 2, Scale: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msgs, traffic stats.Series
+	for _, s := range res.Series {
+		switch s.Label {
+		case "messages per query":
+			msgs = s
+		case "traffic (ms per query)":
+			traffic = s
+		}
+	}
+	if msgs.Len() != 4 || traffic.Len() != 4 {
+		t.Fatalf("series shapes: %d/%d", msgs.Len(), traffic.Len())
+	}
+	// PROP-G leaves the logical graph untouched: message count identical.
+	if msgs.YAt(1) != msgs.YAt(0) {
+		t.Errorf("PROP-G changed the flood message count: %.1f vs %.1f", msgs.YAt(1), msgs.YAt(0))
+	}
+	// PROP-O preserves degrees: message count within 5%.
+	if d := msgs.YAt(2) / msgs.YAt(0); d < 0.95 || d > 1.05 {
+		t.Errorf("PROP-O message count drifted: ratio %.3f", d)
+	}
+	// Both PROP variants must cut the latency-weighted traffic.
+	for _, idx := range []float64{1, 2} {
+		if traffic.YAt(idx) >= traffic.YAt(0) {
+			t.Errorf("variant %v did not reduce ms-traffic: %.0f vs %.0f",
+				idx, traffic.YAt(idx), traffic.YAt(0))
+		}
+	}
+}

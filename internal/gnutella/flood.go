@@ -1,0 +1,86 @@
+package gnutella
+
+import (
+	"repro/internal/overlay"
+)
+
+// FloodStats describes one TTL-limited Gnutella query flood.
+type FloodStats struct {
+	// Messages is the number of query messages sent (every forwarding to a
+	// neighbor other than the sender counts, duplicates included — exactly
+	// the traffic Gnutella puts on the wire).
+	Messages int
+	// Reached is the number of distinct peers the query visited, including
+	// the source.
+	Reached int
+	// TrafficMS is the latency-weighted traffic: the sum over messages of
+	// the physical latency of the logical link crossed. This is the
+	// "unnecessary traffic" cost that location-aware matching (LTM, and the
+	// paper's §1 motivation) targets: the same message count costs less
+	// when logical links are physically short.
+	TrafficMS float64
+}
+
+// Flood simulates one TTL-limited flood from src over the live overlay:
+// the source sends to all neighbors; every peer that receives the query
+// with remaining TTL forwards it to all neighbors except the one it came
+// from; peers process a query once but still receive (and count) duplicate
+// copies. It panics if src is dead (caller bug).
+func Flood(o *overlay.Overlay, src, ttl int) FloodStats {
+	if !o.Alive(src) {
+		panic("gnutella: Flood from dead slot")
+	}
+	stats := FloodStats{Reached: 1}
+	if ttl < 1 {
+		return stats
+	}
+	type hop struct {
+		slot int
+		from int // sender, -1 for the source
+		ttl  int
+	}
+	seen := map[int]bool{src: true}
+	frontier := []hop{{slot: src, from: -1, ttl: ttl}}
+	for len(frontier) > 0 {
+		var next []hop
+		for _, h := range frontier {
+			for _, nb := range o.Neighbors(h.slot) {
+				if nb == h.from || !o.Alive(nb) {
+					continue
+				}
+				stats.Messages++
+				stats.TrafficMS += o.Dist(h.slot, nb)
+				if seen[nb] {
+					continue // duplicate: counted on the wire, not re-forwarded
+				}
+				seen[nb] = true
+				stats.Reached++
+				if h.ttl > 1 {
+					next = append(next, hop{slot: nb, from: h.slot, ttl: h.ttl - 1})
+				}
+			}
+		}
+		frontier = next
+	}
+	return stats
+}
+
+// MeanFloodStats averages Flood over the given sources.
+func MeanFloodStats(o *overlay.Overlay, sources []int, ttl int) FloodStats {
+	if len(sources) == 0 {
+		return FloodStats{}
+	}
+	var total FloodStats
+	for _, s := range sources {
+		st := Flood(o, s, ttl)
+		total.Messages += st.Messages
+		total.Reached += st.Reached
+		total.TrafficMS += st.TrafficMS
+	}
+	n := float64(len(sources))
+	return FloodStats{
+		Messages:  int(float64(total.Messages)/n + 0.5),
+		Reached:   int(float64(total.Reached)/n + 0.5),
+		TrafficMS: total.TrafficMS / n,
+	}
+}

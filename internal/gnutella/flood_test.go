@@ -1,0 +1,140 @@
+package gnutella
+
+import (
+	"testing"
+
+	"repro/internal/overlay"
+	"repro/internal/rng"
+)
+
+// starOverlay builds a hub with k spokes at unit distance.
+func starOverlay(t *testing.T, k int) *overlay.Overlay {
+	t.Helper()
+	hosts := make([]int, k+1)
+	for i := range hosts {
+		hosts[i] = i
+	}
+	o, err := overlay.New(hosts, func(a, b int) float64 {
+		if a == b {
+			return 0
+		}
+		return 1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= k; i++ {
+		if err := o.AddEdge(0, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return o
+}
+
+func TestFloodStarFromHub(t *testing.T) {
+	o := starOverlay(t, 5)
+	st := Flood(o, 0, 1)
+	if st.Messages != 5 || st.Reached != 6 || st.TrafficMS != 5 {
+		t.Fatalf("hub flood ttl=1: %+v", st)
+	}
+	// TTL 2: spokes have no other neighbors to forward to.
+	st2 := Flood(o, 0, 2)
+	if st2.Messages != 5 || st2.Reached != 6 {
+		t.Fatalf("hub flood ttl=2: %+v", st2)
+	}
+}
+
+func TestFloodStarFromSpoke(t *testing.T) {
+	o := starOverlay(t, 5)
+	// TTL 1: spoke reaches only the hub.
+	st := Flood(o, 1, 1)
+	if st.Messages != 1 || st.Reached != 2 {
+		t.Fatalf("spoke flood ttl=1: %+v", st)
+	}
+	// TTL 2: hub forwards to the other 4 spokes.
+	st2 := Flood(o, 1, 2)
+	if st2.Messages != 1+4 || st2.Reached != 6 {
+		t.Fatalf("spoke flood ttl=2: %+v", st2)
+	}
+}
+
+func TestFloodCountsDuplicates(t *testing.T) {
+	// Triangle: flooding from any vertex with TTL 2 delivers duplicates.
+	hosts := []int{0, 1, 2}
+	o, err := overlay.New(hosts, func(a, b int) float64 { return 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.AddEdge(0, 1)
+	o.AddEdge(1, 2)
+	o.AddEdge(0, 2)
+	st := Flood(o, 0, 2)
+	// src sends 2 (to 1 and 2); 1 forwards to 2 (dup), 2 forwards to 1
+	// (dup): 4 messages, 3 reached.
+	if st.Messages != 4 || st.Reached != 3 {
+		t.Fatalf("triangle flood: %+v", st)
+	}
+}
+
+func TestFloodZeroTTL(t *testing.T) {
+	o := starOverlay(t, 3)
+	st := Flood(o, 0, 0)
+	if st.Messages != 0 || st.Reached != 1 {
+		t.Fatalf("zero TTL: %+v", st)
+	}
+}
+
+func TestFloodDeadSourcePanics(t *testing.T) {
+	o := starOverlay(t, 3)
+	o.RemoveSlot(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("flood from dead slot did not panic")
+		}
+	}()
+	Flood(o, 2, 2)
+}
+
+func TestFloodSkipsDeadPeers(t *testing.T) {
+	o := starOverlay(t, 4)
+	o.RemoveSlot(3)
+	st := Flood(o, 0, 2)
+	if st.Reached != 4 { // hub + 3 live spokes
+		t.Fatalf("flood visited dead peer: %+v", st)
+	}
+}
+
+func TestMessageCountInvariantUnderHostSwap(t *testing.T) {
+	// PROP-G swaps hosts; the flood message count depends only on the
+	// logical graph and must be identical, while the latency-weighted
+	// traffic changes.
+	r := rng.New(5)
+	hosts := r.Perm(1000)[:200]
+	o, err := Build(hosts, DefaultConfig(), lat, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := Flood(o, 0, 4)
+	for i := 0; i < 50; i++ {
+		u, v := r.Intn(200), r.Intn(200)
+		if u != v {
+			o.SwapHosts(u, v)
+		}
+	}
+	after := Flood(o, 0, 4)
+	if before.Messages != after.Messages || before.Reached != after.Reached {
+		t.Fatalf("message count changed under host swaps: %+v vs %+v", before, after)
+	}
+}
+
+func TestMeanFloodStats(t *testing.T) {
+	o := starOverlay(t, 5)
+	m := MeanFloodStats(o, []int{0, 1}, 2)
+	// hub: 5 msgs/6 reached; spoke: 5 msgs/6 reached.
+	if m.Messages != 5 || m.Reached != 6 {
+		t.Fatalf("mean flood: %+v", m)
+	}
+	if z := MeanFloodStats(o, nil, 2); z.Messages != 0 {
+		t.Fatalf("empty sources: %+v", z)
+	}
+}

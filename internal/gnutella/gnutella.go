@@ -1,0 +1,167 @@
+// Package gnutella builds the unstructured, Gnutella-like overlays of the
+// paper's evaluation.
+//
+// The paper relies on two structural facts about Gnutella-style overlays:
+// they have "Power-law-like" degree distributions ("powerful nodes own more
+// connections", citing Ripeanu et al.), and the minimum degree is small
+// (the PROP-O experiments sweep m up to "the minimum average degree", 4).
+// Preferential attachment with m = 4 links per joiner reproduces exactly
+// that: minimum degree 4 and a heavy-tailed degree distribution in which
+// the earliest joiners are the best-connected. The Fig. 7 heterogeneity
+// experiment additionally exploits that correlation by declaring the
+// highest-degree peers "fast".
+package gnutella
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/overlay"
+	"repro/internal/rng"
+)
+
+// Config parameterizes overlay construction.
+type Config struct {
+	// LinksPerJoin is the number of connections each joining peer opens
+	// (the preferential-attachment m; the overlay's minimum degree).
+	LinksPerJoin int
+}
+
+// DefaultConfig matches the paper's setting (minimum degree 4).
+func DefaultConfig() Config { return Config{LinksPerJoin: 4} }
+
+// Build constructs a Gnutella-like overlay over the given physical hosts.
+// Peers join one at a time; each joiner attaches LinksPerJoin links to
+// distinct existing peers chosen with probability proportional to
+// (degree+1) — plain Barabási-Albert attachment with additive smoothing so
+// the bootstrap peers are reachable. The result is always connected.
+func Build(hosts []int, cfg Config, lat overlay.LatencyFunc, r *rng.Rand) (*overlay.Overlay, error) {
+	if cfg.LinksPerJoin < 1 {
+		return nil, fmt.Errorf("gnutella: LinksPerJoin = %d, want >= 1", cfg.LinksPerJoin)
+	}
+	if len(hosts) < 2 {
+		return nil, fmt.Errorf("gnutella: need at least 2 peers, got %d", len(hosts))
+	}
+	o, err := overlay.New(hosts, lat)
+	if err != nil {
+		return nil, err
+	}
+	// repeated holds each slot once per (degree+1): sampling uniformly from
+	// it is preferential attachment in O(1).
+	repeated := make([]int, 0, 4*len(hosts)*cfg.LinksPerJoin)
+	repeated = append(repeated, 0) // slot 0 with degree 0 (+1 smoothing)
+	for slot := 1; slot < len(hosts); slot++ {
+		k := cfg.LinksPerJoin
+		if slot < cfg.LinksPerJoin {
+			k = slot // early peers cannot reach full fan-out
+		}
+		chosen := map[int]bool{}
+		for len(chosen) < k {
+			cand := repeated[r.Intn(len(repeated))]
+			if cand == slot || chosen[cand] {
+				continue
+			}
+			chosen[cand] = true
+		}
+		// Sort for determinism: map iteration order would otherwise leak
+		// into the sampling array and de-seed the generator's effect.
+		nbs := make([]int, 0, len(chosen))
+		for nb := range chosen {
+			nbs = append(nbs, nb)
+		}
+		sort.Ints(nbs)
+		for _, nb := range nbs {
+			if err := o.AddEdge(slot, nb); err != nil {
+				return nil, err
+			}
+			repeated = append(repeated, nb)
+		}
+		repeated = append(repeated, slot)
+		for i := 0; i < k; i++ {
+			repeated = append(repeated, slot)
+		}
+	}
+	return o, nil
+}
+
+// Join attaches a new peer on host to an existing overlay using the same
+// preferential rule, and returns its slot. Used by the churn experiments.
+func Join(o *overlay.Overlay, host int, cfg Config, r *rng.Rand) (int, error) {
+	if cfg.LinksPerJoin < 1 {
+		return -1, fmt.Errorf("gnutella: LinksPerJoin = %d, want >= 1", cfg.LinksPerJoin)
+	}
+	alive := o.AliveSlots()
+	if len(alive) == 0 {
+		return -1, fmt.Errorf("gnutella: cannot join an empty overlay")
+	}
+	slot, err := o.AddSlot(host)
+	if err != nil {
+		return -1, err
+	}
+	k := cfg.LinksPerJoin
+	if k > len(alive) {
+		k = len(alive)
+	}
+	weights := make([]float64, len(alive))
+	for i, s := range alive {
+		weights[i] = float64(o.Degree(s) + 1)
+	}
+	chosen := map[int]bool{}
+	for len(chosen) < k {
+		cand := alive[r.Pick(weights)]
+		if chosen[cand] {
+			continue
+		}
+		chosen[cand] = true
+	}
+	for nb := range chosen {
+		if err := o.AddEdge(slot, nb); err != nil {
+			return -1, err
+		}
+	}
+	return slot, nil
+}
+
+// Leave removes the peer at slot and repairs the hole: every pair of its
+// former neighbors that is left under the minimum degree gets patched to a
+// random live peer, and the former neighbors are rewired to each other with
+// a ring so the departure cannot partition the overlay — the standard
+// Gnutella "neighbor handoff" behavior.
+func Leave(o *overlay.Overlay, slot int, cfg Config, r *rng.Rand) error {
+	if !o.Alive(slot) {
+		return fmt.Errorf("gnutella: Leave(%d) on dead slot", slot)
+	}
+	former := o.Neighbors(slot)
+	if err := o.RemoveSlot(slot); err != nil {
+		return err
+	}
+	live := make([]int, 0, len(former))
+	for _, f := range former {
+		if o.Alive(f) {
+			live = append(live, f)
+		}
+	}
+	// Ring over the former neighbors keeps them mutually connected.
+	for i := 0; i+1 < len(live); i++ {
+		o.AddEdge(live[i], live[i+1]) // duplicate edges are fine (no-op error ignored via existing edge semantics)
+	}
+	// Top up anyone now under the minimum degree.
+	alive := o.AliveSlots()
+	if len(alive) < 2 {
+		return nil
+	}
+	for _, f := range live {
+		for o.Degree(f) < cfg.LinksPerJoin {
+			cand := alive[r.Intn(len(alive))]
+			if cand == f || o.Logical.HasEdge(f, cand) {
+				// Degenerate small overlays may not admit more edges.
+				if o.Degree(f) >= len(alive)-1 {
+					break
+				}
+				continue
+			}
+			o.AddEdge(f, cand)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Inf is the distance reported for unreachable vertices.
+var Inf = math.Inf(1)
+
+// ShortestPaths computes single-source shortest path distances from src
+// over edge weights using Dijkstra's algorithm with a binary heap.
+// Unreachable vertices get +Inf. The returned slice has length
+// g.NumVertices().
+func (g *Graph) ShortestPaths(src int) []float64 {
+	dist, _ := g.shortestPaths(src, false)
+	return dist
+}
+
+// ShortestPathTree computes distances plus the predecessor of each vertex
+// on some shortest path from src (prev[src] == -1; unreachable vertices
+// also get -1).
+func (g *Graph) ShortestPathTree(src int) (dist []float64, prev []int) {
+	return g.shortestPaths(src, true)
+}
+
+func (g *Graph) shortestPaths(src int, wantPrev bool) ([]float64, []int) {
+	n := len(g.adj)
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = Inf
+	}
+	var prev []int
+	if wantPrev {
+		prev = make([]int, n)
+		for i := range prev {
+			prev[i] = -1
+		}
+	}
+	if src < 0 || src >= n {
+		return dist, prev
+	}
+	dist[src] = 0
+	pq := &distHeap{{v: src, d: 0}}
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(distItem)
+		if item.d > dist[item.v] {
+			continue // stale entry
+		}
+		for v, w := range g.adj[item.v] {
+			if nd := item.d + w; nd < dist[v] {
+				dist[v] = nd
+				if wantPrev {
+					prev[v] = item.v
+				}
+				heap.Push(pq, distItem{v: v, d: nd})
+			}
+		}
+	}
+	return dist, prev
+}
+
+// PathTo reconstructs the vertex sequence src..dst from a predecessor array
+// produced by ShortestPathTree(src). It returns nil if dst is unreachable.
+func PathTo(prev []int, src, dst int) []int {
+	if dst < 0 || dst >= len(prev) {
+		return nil
+	}
+	if src == dst {
+		return []int{src}
+	}
+	if prev[dst] == -1 {
+		return nil
+	}
+	var rev []int
+	for v := dst; v != -1; v = prev[v] {
+		rev = append(rev, v)
+		if v == src {
+			break
+		}
+		if len(rev) > len(prev) {
+			return nil // cycle guard; malformed prev
+		}
+	}
+	if rev[len(rev)-1] != src {
+		return nil
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+type distItem struct {
+	v int
+	d float64
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}
+
+// BellmanFord computes single-source shortest paths by relaxation. It is
+// O(V·E) and exists as an independent oracle for property-testing Dijkstra.
+func (g *Graph) BellmanFord(src int) []float64 {
+	n := len(g.adj)
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = Inf
+	}
+	if src < 0 || src >= n {
+		return dist
+	}
+	dist[src] = 0
+	for iter := 0; iter < n-1; iter++ {
+		changed := false
+		for u := range g.adj {
+			if math.IsInf(dist[u], 1) {
+				continue
+			}
+			for v, w := range g.adj[u] {
+				if nd := dist[u] + w; nd < dist[v] {
+					dist[v] = nd
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return dist
+}

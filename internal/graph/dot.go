@@ -1,0 +1,40 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT emits the graph in Graphviz DOT format for visualization. label,
+// if non-nil, names each vertex (default: its index); attr, if non-nil,
+// returns extra DOT attributes for a vertex (e.g. `color=red`).
+func (g *Graph) WriteDOT(w io.Writer, name string, label func(v int) string, attr func(v int) string) error {
+	if name == "" {
+		name = "G"
+	}
+	if _, err := fmt.Fprintf(w, "graph %q {\n", name); err != nil {
+		return err
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		l := fmt.Sprintf("%d", v)
+		if label != nil {
+			l = label(v)
+		}
+		extra := ""
+		if attr != nil {
+			if a := attr(v); a != "" {
+				extra = ", " + a
+			}
+		}
+		if _, err := fmt.Fprintf(w, "  n%d [label=%q%s];\n", v, l, extra); err != nil {
+			return err
+		}
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(w, "  n%d -- n%d [weight=%g, label=\"%.0f\"];\n", e.U, e.V, e.W, e.W); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,379 @@
+// Package graph implements the weighted undirected graphs that underpin both
+// the physical-network substrate and the logical overlays of the PROP
+// reproduction.
+//
+// The representation is a compact adjacency list keyed by dense integer
+// vertex IDs. Edge weights are float64 latencies in milliseconds. The
+// package provides the primitives the paper's analysis leans on:
+// single-source shortest paths (Dijkstra), connectivity checks (Theorem 1,
+// connectivity persistence), degree sequences (PROP-O degree preservation),
+// and isomorphism-under-relabeling verification (Theorem 2).
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is a weighted undirected multigraph-free graph over vertices
+// 0..NumVertices-1. The zero value is an empty graph; grow it with
+// AddVertex/AddEdge.
+type Graph struct {
+	adj []map[int]float64 // adj[u][v] = weight of edge {u,v}
+	m   int               // number of edges
+}
+
+// New returns a graph with n isolated vertices.
+func New(n int) *Graph {
+	g := &Graph{adj: make([]map[int]float64, n)}
+	for i := range g.adj {
+		g.adj[i] = make(map[int]float64)
+	}
+	return g
+}
+
+// NumVertices reports the number of vertices.
+func (g *Graph) NumVertices() int { return len(g.adj) }
+
+// NumEdges reports the number of undirected edges.
+func (g *Graph) NumEdges() int { return g.m }
+
+// AddVertex appends a new isolated vertex and returns its ID.
+func (g *Graph) AddVertex() int {
+	g.adj = append(g.adj, make(map[int]float64))
+	return len(g.adj) - 1
+}
+
+// AddEdge inserts the undirected edge {u,v} with weight w. Self-loops are
+// rejected. Re-adding an existing edge overwrites its weight and is not
+// counted twice.
+func (g *Graph) AddEdge(u, v int, w float64) error {
+	if u == v {
+		return fmt.Errorf("graph: self-loop on vertex %d", u)
+	}
+	if err := g.check(u); err != nil {
+		return err
+	}
+	if err := g.check(v); err != nil {
+		return err
+	}
+	if w < 0 {
+		return fmt.Errorf("graph: negative weight %v on edge {%d,%d}", w, u, v)
+	}
+	if _, exists := g.adj[u][v]; !exists {
+		g.m++
+	}
+	g.adj[u][v] = w
+	g.adj[v][u] = w
+	return nil
+}
+
+// MustAddEdge is AddEdge that panics on error; for construction code whose
+// inputs are known valid.
+func (g *Graph) MustAddEdge(u, v int, w float64) {
+	if err := g.AddEdge(u, v, w); err != nil {
+		panic(err)
+	}
+}
+
+// RemoveEdge deletes the undirected edge {u,v}. It reports whether the edge
+// existed.
+func (g *Graph) RemoveEdge(u, v int) bool {
+	if u < 0 || v < 0 || u >= len(g.adj) || v >= len(g.adj) {
+		return false
+	}
+	if _, ok := g.adj[u][v]; !ok {
+		return false
+	}
+	delete(g.adj[u], v)
+	delete(g.adj[v], u)
+	g.m--
+	return true
+}
+
+// HasEdge reports whether the edge {u,v} exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || u >= len(g.adj) {
+		return false
+	}
+	_, ok := g.adj[u][v]
+	return ok
+}
+
+// Weight returns the weight of edge {u,v} and whether it exists.
+func (g *Graph) Weight(u, v int) (float64, bool) {
+	if u < 0 || u >= len(g.adj) {
+		return 0, false
+	}
+	w, ok := g.adj[u][v]
+	return w, ok
+}
+
+// Degree returns the degree of vertex u.
+func (g *Graph) Degree(u int) int {
+	if u < 0 || u >= len(g.adj) {
+		return 0
+	}
+	return len(g.adj[u])
+}
+
+// Neighbors returns the neighbor IDs of u in ascending order. The slice is
+// freshly allocated; callers may mutate it.
+func (g *Graph) Neighbors(u int) []int {
+	if u < 0 || u >= len(g.adj) {
+		return nil
+	}
+	out := make([]int, 0, len(g.adj[u]))
+	for v := range g.adj[u] {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// VisitNeighbors calls f for every neighbor of u (in unspecified order) with
+// the edge weight. Iteration stops early if f returns false.
+func (g *Graph) VisitNeighbors(u int, f func(v int, w float64) bool) {
+	if u < 0 || u >= len(g.adj) {
+		return
+	}
+	for v, w := range g.adj[u] {
+		if !f(v, w) {
+			return
+		}
+	}
+}
+
+// Edge is an undirected edge with U < V, plus its weight.
+type Edge struct {
+	U, V int
+	W    float64
+}
+
+// Edges returns every edge exactly once, sorted by (U, V).
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.m)
+	for u := range g.adj {
+		for v, w := range g.adj[u] {
+			if u < v {
+				out = append(out, Edge{U: u, V: v, W: w})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := New(len(g.adj))
+	c.m = g.m
+	for u, nbrs := range g.adj {
+		for v, w := range nbrs {
+			c.adj[u][v] = w
+		}
+	}
+	return c
+}
+
+// DegreeSequence returns the sorted multiset of vertex degrees. Two graphs
+// related by a PROP-O exchange must have identical degree sequences.
+func (g *Graph) DegreeSequence() []int {
+	ds := make([]int, len(g.adj))
+	for u := range g.adj {
+		ds[u] = len(g.adj[u])
+	}
+	sort.Ints(ds)
+	return ds
+}
+
+// MinDegree returns the minimum vertex degree δ(G), or 0 for an empty graph.
+// The paper sets the default PROP-O exchange size m = δ(G).
+func (g *Graph) MinDegree() int {
+	if len(g.adj) == 0 {
+		return 0
+	}
+	min := len(g.adj)
+	for u := range g.adj {
+		if d := len(g.adj[u]); d < min {
+			min = d
+		}
+	}
+	return min
+}
+
+// AverageDegree returns the mean vertex degree (2m/n), or 0 for an empty
+// graph.
+func (g *Graph) AverageDegree() float64 {
+	if len(g.adj) == 0 {
+		return 0
+	}
+	return 2 * float64(g.m) / float64(len(g.adj))
+}
+
+// TotalWeight returns the sum of all edge weights.
+func (g *Graph) TotalWeight() float64 {
+	total := 0.0
+	for u, nbrs := range g.adj {
+		for v, w := range nbrs {
+			if u < v {
+				total += w
+			}
+		}
+	}
+	return total
+}
+
+// MeanEdgeWeight returns the average edge weight, or 0 if there are no
+// edges. In the physical network this is the "average physical link
+// latency" denominator of the paper's stretch metric.
+func (g *Graph) MeanEdgeWeight() float64 {
+	if g.m == 0 {
+		return 0
+	}
+	return g.TotalWeight() / float64(g.m)
+}
+
+func (g *Graph) check(u int) error {
+	if u < 0 || u >= len(g.adj) {
+		return fmt.Errorf("graph: vertex %d out of range [0,%d)", u, len(g.adj))
+	}
+	return nil
+}
+
+// Connected reports whether the graph is connected (true for the empty and
+// single-vertex graphs).
+func (g *Graph) Connected() bool {
+	n := len(g.adj)
+	if n <= 1 {
+		return true
+	}
+	return len(g.Component(0)) == n
+}
+
+// Component returns the vertices reachable from start (including start),
+// in BFS discovery order.
+func (g *Graph) Component(start int) []int {
+	if start < 0 || start >= len(g.adj) {
+		return nil
+	}
+	visited := make([]bool, len(g.adj))
+	queue := []int{start}
+	visited[start] = true
+	order := make([]int, 0, len(g.adj))
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for v := range g.adj[u] {
+			if !visited[v] {
+				visited[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	return order
+}
+
+// ComponentCount returns the number of connected components.
+func (g *Graph) ComponentCount() int {
+	visited := make([]bool, len(g.adj))
+	count := 0
+	for s := range g.adj {
+		if visited[s] {
+			continue
+		}
+		count++
+		stack := []int{s}
+		visited[s] = true
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for v := range g.adj[u] {
+				if !visited[v] {
+					visited[v] = true
+					stack = append(stack, v)
+				}
+			}
+		}
+	}
+	return count
+}
+
+// HopDistance returns the unweighted hop count from u to v, or -1 if v is
+// unreachable.
+func (g *Graph) HopDistance(u, v int) int {
+	if u < 0 || v < 0 || u >= len(g.adj) || v >= len(g.adj) {
+		return -1
+	}
+	if u == v {
+		return 0
+	}
+	dist := make([]int, len(g.adj))
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[u] = 0
+	queue := []int{u}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for y := range g.adj[x] {
+			if dist[y] < 0 {
+				dist[y] = dist[x] + 1
+				if y == v {
+					return dist[y]
+				}
+				queue = append(queue, y)
+			}
+		}
+	}
+	return -1
+}
+
+// IsomorphicUnderMapping verifies that applying the vertex relabeling phi to
+// g yields exactly h: phi must be a bijection on [0,n) and xy ∈ E(g) iff
+// phi(x)phi(y) ∈ E(h), with equal weights. This is the executable form of
+// the paper's Theorem 2 (PROP-G preserves the overlay up to isomorphism).
+func IsomorphicUnderMapping(g, h *Graph, phi []int) error {
+	n := g.NumVertices()
+	if h.NumVertices() != n {
+		return fmt.Errorf("graph: vertex counts differ: %d vs %d", n, h.NumVertices())
+	}
+	if len(phi) != n {
+		return fmt.Errorf("graph: mapping length %d, want %d", len(phi), n)
+	}
+	seen := make([]bool, n)
+	for x, y := range phi {
+		if y < 0 || y >= n {
+			return fmt.Errorf("graph: phi(%d)=%d out of range", x, y)
+		}
+		if seen[y] {
+			return fmt.Errorf("graph: phi is not injective at image %d", y)
+		}
+		seen[y] = true
+	}
+	if g.NumEdges() != h.NumEdges() {
+		return fmt.Errorf("graph: edge counts differ: %d vs %d", g.NumEdges(), h.NumEdges())
+	}
+	for u := range g.adj {
+		for v, w := range g.adj[u] {
+			if u > v {
+				continue
+			}
+			hw, ok := h.Weight(phi[u], phi[v])
+			if !ok {
+				return fmt.Errorf("graph: edge {%d,%d} has no image {%d,%d}", u, v, phi[u], phi[v])
+			}
+			if hw != w {
+				return fmt.Errorf("graph: edge {%d,%d} weight %v maps to weight %v", u, v, w, hw)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,248 @@
+// Package kademlia implements the Kademlia distributed hash table
+// (Maymounkov & Mazières, IPTPS '02) over the slot/host overlay model —
+// the fourth structured substrate of the reproduction, with a routing
+// geometry unlike Chord's ring, CAN's torus, or Pastry's prefix tree: the
+// XOR metric.
+//
+// Kademlia matters to the paper's argument because its k-buckets hold *any*
+// k contacts from each XOR subtree — the loosest routing-table constraint
+// of all the classic DHTs, and therefore the most natural fit for
+// proximity neighbor selection. Reproducing PROP-G here demonstrates the
+// exchange protocol on a geometry where even the PNS baseline has maximal
+// freedom.
+//
+// Identifiers are 32-bit. Node s's bucket i holds up to K contacts whose
+// IDs differ from s's in bit i as the highest differing bit (i.e. XOR
+// distance in [2^i, 2^(i+1))). Lookups greedily hop to the known contact
+// closest to the key in XOR distance; with globally converged buckets this
+// always terminates at the key's true owner.
+package kademlia
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+
+	"repro/internal/overlay"
+	"repro/internal/rng"
+)
+
+// Bits is the identifier width.
+const Bits = 32
+
+// Config parameterizes construction.
+type Config struct {
+	// K is the bucket capacity (Kademlia's k; 8 is a common small-system
+	// setting). Must be >= 1.
+	K int
+	// Proximity selects bucket contacts by physical nearness instead of
+	// XOR closeness — Kademlia's native PNS.
+	Proximity bool
+}
+
+// DefaultConfig returns a standard small-deployment setting.
+func DefaultConfig() Config { return Config{K: 8} }
+
+// Net is a built Kademlia network.
+type Net struct {
+	// O is the underlying overlay; logical links mirror bucket contacts.
+	O *overlay.Overlay
+	// ID holds each slot's identifier.
+	ID []uint32
+
+	cfg     Config
+	buckets [][][]int // per slot: Bits buckets of contact slots
+}
+
+// Build constructs a Kademlia network over hosts with distinct random IDs.
+func Build(hosts []int, cfg Config, lat overlay.LatencyFunc, r *rng.Rand) (*Net, error) {
+	n := len(hosts)
+	if n < 2 {
+		return nil, fmt.Errorf("kademlia: need at least 2 nodes, got %d", n)
+	}
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("kademlia: K = %d, want >= 1", cfg.K)
+	}
+	o, err := overlay.New(hosts, lat)
+	if err != nil {
+		return nil, err
+	}
+	net := &Net{O: o, ID: make([]uint32, n), cfg: cfg, buckets: make([][][]int, n)}
+	used := make(map[uint32]bool, n)
+	for s := 0; s < n; s++ {
+		for {
+			id := uint32(r.Uint64())
+			if !used[id] {
+				used[id] = true
+				net.ID[s] = id
+				break
+			}
+		}
+	}
+	net.fillBuckets(lat)
+	net.mirror()
+	return net, nil
+}
+
+// bucketIndex returns which of s's buckets t belongs to: the index of the
+// highest bit where their IDs differ, or -1 for identical IDs.
+func bucketIndex(a, b uint32) int {
+	x := a ^ b
+	if x == 0 {
+		return -1
+	}
+	return 31 - bits.LeadingZeros32(x)
+}
+
+// fillBuckets populates every node's buckets from global knowledge (the
+// converged state Kademlia's iterative lookups maintain in practice).
+func (net *Net) fillBuckets(lat overlay.LatencyFunc) {
+	n := len(net.ID)
+	for s := 0; s < n; s++ {
+		rows := make([][]int, Bits)
+		// Gather candidates per bucket.
+		byBucket := make([][]int, Bits)
+		for t := 0; t < n; t++ {
+			if t == s {
+				continue
+			}
+			bi := bucketIndex(net.ID[s], net.ID[t])
+			byBucket[bi] = append(byBucket[bi], t)
+		}
+		hs := net.O.HostOf(s)
+		for bi, cands := range byBucket {
+			if len(cands) == 0 {
+				continue
+			}
+			if net.cfg.Proximity {
+				sort.Slice(cands, func(i, j int) bool {
+					di := lat(hs, net.O.HostOf(cands[i]))
+					dj := lat(hs, net.O.HostOf(cands[j]))
+					if di != dj {
+						return di < dj
+					}
+					return cands[i] < cands[j]
+				})
+			} else {
+				sort.Slice(cands, func(i, j int) bool {
+					xi := net.ID[s] ^ net.ID[cands[i]]
+					xj := net.ID[s] ^ net.ID[cands[j]]
+					if xi != xj {
+						return xi < xj
+					}
+					return cands[i] < cands[j]
+				})
+			}
+			if len(cands) > net.cfg.K {
+				cands = cands[:net.cfg.K]
+			}
+			rows[bi] = append([]int(nil), cands...)
+		}
+		net.buckets[s] = rows
+	}
+}
+
+// mirror reflects bucket contacts into the overlay's logical graph.
+func (net *Net) mirror() {
+	for s := range net.ID {
+		for _, bucket := range net.buckets[s] {
+			for _, t := range bucket {
+				if t != s {
+					net.O.AddEdge(s, t)
+				}
+			}
+		}
+	}
+}
+
+// Refresh refills every bucket against the current host mapping and
+// rebuilds the logical links — bucket maintenance after PROP-G exchanges.
+// Plain (XOR-ordered) networks are unchanged by it.
+func (net *Net) Refresh(lat overlay.LatencyFunc) {
+	for _, e := range net.O.Logical.Edges() {
+		net.O.Logical.RemoveEdge(e.U, e.V)
+	}
+	net.fillBuckets(lat)
+	net.mirror()
+}
+
+// Owner returns the slot whose ID is XOR-closest to key.
+func (net *Net) Owner(key uint32) int {
+	best, bestX := -1, uint32(math.MaxUint32)
+	for s, id := range net.ID {
+		if !net.O.Alive(s) {
+			continue
+		}
+		if x := id ^ key; x < bestX || best == -1 {
+			best, bestX = s, x
+		}
+	}
+	return best
+}
+
+// LookupResult describes one routed lookup.
+type LookupResult struct {
+	// Owner is the XOR-closest slot to the key.
+	Owner int
+	// Hops is the overlay hop count.
+	Hops int
+	// Latency is the summed physical latency plus processing delays.
+	Latency float64
+	// Path lists the visited slots.
+	Path []int
+}
+
+// Lookup greedily routes from src to the key's owner: at each step the
+// current node forwards to its known contact with the smallest XOR
+// distance to the key, stopping when no contact improves on itself.
+func (net *Net) Lookup(src int, key uint32, proc overlay.ProcDelayFunc) (LookupResult, error) {
+	if !net.O.Alive(src) {
+		return LookupResult{}, fmt.Errorf("kademlia: lookup from dead slot %d", src)
+	}
+	res := LookupResult{Owner: net.Owner(key), Path: []int{src}}
+	cur := src
+	maxHops := Bits + 8
+	for {
+		curX := net.ID[cur] ^ key
+		best, bestX := cur, curX
+		for _, bucket := range net.buckets[cur] {
+			for _, t := range bucket {
+				if !net.O.Alive(t) {
+					continue
+				}
+				if x := net.ID[t] ^ key; x < bestX {
+					best, bestX = t, x
+				}
+			}
+		}
+		if best == cur {
+			// Local optimum; with converged buckets this is the owner.
+			if cur != res.Owner {
+				return res, fmt.Errorf("kademlia: lookup stuck at %d, owner %d", cur, res.Owner)
+			}
+			return res, nil
+		}
+		res.Latency += net.O.Dist(cur, best)
+		if proc != nil {
+			res.Latency += proc(best)
+		}
+		res.Hops++
+		res.Path = append(res.Path, best)
+		cur = best
+		if res.Hops > maxHops {
+			return res, fmt.Errorf("kademlia: routing exceeded %d hops", maxHops)
+		}
+	}
+}
+
+// RandomKey returns a uniform key.
+func RandomKey(r *rng.Rand) uint32 { return uint32(r.Uint64()) }
+
+// Bucket exposes slot s's bucket i (shared storage; do not mutate).
+func (net *Net) Bucket(s, i int) []int {
+	if i < 0 || i >= Bits {
+		return nil
+	}
+	return net.buckets[s][i]
+}

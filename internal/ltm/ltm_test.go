@@ -1,0 +1,171 @@
+package ltm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/event"
+	"repro/internal/gnutella"
+	"repro/internal/overlay"
+	"repro/internal/rng"
+)
+
+func lineLat(a, b int) float64 { return math.Abs(float64(a - b)) }
+
+func scrambled(t testing.TB, n int, seed uint64) (*overlay.Overlay, *rng.Rand) {
+	t.Helper()
+	r := rng.New(seed)
+	hosts := r.Perm(n * 10)[:n]
+	o, err := gnutella.Build(hosts, gnutella.DefaultConfig(), lineLat, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o, r
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{PeriodMS: 0, MinDegree: 2},
+		{PeriodMS: 100, MinDegree: 0},
+		{PeriodMS: 100, MinDegree: 2, MaxCutsPerRound: -1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+		if _, err := New(&overlay.Overlay{}, cfg, rng.New(1)); err == nil {
+			t.Errorf("New accepted bad config %d", i)
+		}
+	}
+	if _, err := New(nil, DefaultConfig(), rng.New(1)); err == nil {
+		t.Error("nil overlay accepted")
+	}
+}
+
+func TestLTMReducesLinkLatency(t *testing.T) {
+	o, r := scrambled(t, 200, 42)
+	before := o.MeanLinkLatency()
+	p, err := New(o, DefaultConfig(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := event.New()
+	p.Start(e)
+	e.RunUntil(30 * 60000)
+	after := o.MeanLinkLatency()
+	if p.Counters.Exchanges == 0 {
+		t.Fatal("no topology modifications executed")
+	}
+	if after >= before*0.8 {
+		t.Fatalf("LTM latency %.1f -> %.1f: insufficient improvement", before, after)
+	}
+}
+
+func TestLTMKeepsConnectivity(t *testing.T) {
+	f := func(seed uint64) bool {
+		o, r := scrambled(t, 80, seed)
+		cfg := DefaultConfig()
+		cfg.PeriodMS = 1000
+		p, err := New(o, cfg, r)
+		if err != nil {
+			return false
+		}
+		e := event.New()
+		p.Start(e)
+		e.RunUntil(30 * 1000)
+		return o.Connected()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLTMChangesDegrees(t *testing.T) {
+	// The defining contrast with PROP-O: LTM rewires freely, so the degree
+	// sequence is NOT preserved.
+	o, r := scrambled(t, 150, 7)
+	before := o.Logical.DegreeSequence()
+	p, err := New(o, DefaultConfig(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := event.New()
+	p.Start(e)
+	e.RunUntil(20 * 60000)
+	after := o.Logical.DegreeSequence()
+	same := len(before) == len(after)
+	if same {
+		for i := range before {
+			if before[i] != after[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("LTM preserved the degree sequence; expected free rewiring")
+	}
+}
+
+func TestLTMRespectsMinDegree(t *testing.T) {
+	o, r := scrambled(t, 100, 11)
+	cfg := DefaultConfig()
+	cfg.MinDegree = 3
+	p, err := New(o, cfg, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := event.New()
+	p.Start(e)
+	e.RunUntil(20 * 60000)
+	for _, s := range o.AliveSlots() {
+		if o.Degree(s) < 3 {
+			t.Fatalf("slot %d degree %d below MinDegree", s, o.Degree(s))
+		}
+	}
+}
+
+func TestLTMOverheadCounted(t *testing.T) {
+	o, r := scrambled(t, 100, 3)
+	p, err := New(o, DefaultConfig(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := event.New()
+	p.Start(e)
+	e.RunUntil(5 * 60000)
+	if p.Counters.Probes == 0 {
+		t.Fatal("no detector rounds counted")
+	}
+	// TTL-2 flooding costs at least degree messages per round.
+	if p.Counters.WalkMessages < p.Counters.Probes*4 {
+		t.Fatalf("detector messages %d implausibly low for %d rounds",
+			p.Counters.WalkMessages, p.Counters.Probes)
+	}
+}
+
+func TestLTMSkipsDeadPeers(t *testing.T) {
+	o, r := scrambled(t, 50, 5)
+	cfg := DefaultConfig()
+	cfg.PeriodMS = 1000
+	p, err := New(o, cfg, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := event.New()
+	p.Start(e)
+	e.RunUntil(1500)
+	victim := o.AliveSlots()[0]
+	if err := gnutella.Leave(o, victim, gnutella.DefaultConfig(), r); err != nil {
+		t.Fatal(err)
+	}
+	// The dead peer's pending round must be a no-op, not a panic.
+	e.RunUntil(60 * 1000)
+	if !o.Connected() {
+		t.Fatal("overlay disconnected")
+	}
+}

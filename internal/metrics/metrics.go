@@ -1,0 +1,217 @@
+// Package metrics computes the paper's evaluation quantities: average
+// lookup latency over a workload (Figs. 5 and 7), stretch (Fig. 6), and
+// the protocol message counters behind the §4.3 overhead analysis.
+//
+// Lookup evaluation fans out across goroutines — each lookup is independent
+// — and writes results by index so that the final reduction is a
+// deterministic sequential sum regardless of scheduling.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/overlay"
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+// LatencyEval evaluates the latency of one lookup; implementations wrap
+// Gnutella flooding or Chord/CAN routing.
+type LatencyEval func(l workload.Lookup) float64
+
+// MeanLookupLatency evaluates every lookup with eval in parallel and
+// returns the mean over finite results plus the count of failed
+// (infinite/NaN) lookups.
+func MeanLookupLatency(lookups []workload.Lookup, eval LatencyEval) (mean float64, failed int) {
+	if len(lookups) == 0 {
+		return 0, 0
+	}
+	results := make([]float64, len(lookups))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(lookups) {
+		workers = len(lookups)
+	}
+	var wg sync.WaitGroup
+	chunk := (len(lookups) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(lookups) {
+			hi = len(lookups)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				results[i] = eval(lookups[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	sum, n := 0.0, 0
+	for _, v := range results {
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			failed++
+			continue
+		}
+		sum += v
+		n++
+	}
+	if n == 0 {
+		return math.Inf(1), failed
+	}
+	return sum / float64(n), failed
+}
+
+// FloodEval adapts an unstructured overlay to a LatencyEval using flooding
+// first-arrival semantics.
+func FloodEval(o *overlay.Overlay, proc overlay.ProcDelayFunc) LatencyEval {
+	return func(l workload.Lookup) float64 {
+		return o.FloodLatency(l.Src, l.Dst, proc)
+	}
+}
+
+// AverageLatency computes the paper's eq. (3): AL = (Σ_i Σ_j d(i,j)) / n²
+// over the overlay's flooding distances (the latency between a node and
+// itself is zero, matching the paper's footnote). The exact all-pairs
+// computation is O(n · Dijkstra); pass sample > 0 to estimate from that
+// many random ordered pairs instead (r required then). Sources are
+// evaluated in parallel.
+func AverageLatency(o *overlay.Overlay, proc overlay.ProcDelayFunc, sample int, r *rng.Rand) (float64, error) {
+	slots := o.AliveSlots()
+	n := len(slots)
+	if n == 0 {
+		return 0, fmt.Errorf("metrics: AverageLatency of empty overlay")
+	}
+	if sample > 0 {
+		if r == nil {
+			return 0, fmt.Errorf("metrics: sampled AverageLatency needs a generator")
+		}
+		lookups := make([]workload.Lookup, sample)
+		for i := range lookups {
+			lookups[i] = workload.Lookup{
+				Src: slots[r.Intn(n)],
+				Dst: slots[r.Intn(n)],
+			}
+		}
+		// Self-pairs contribute 0, exactly as in eq. (3).
+		mean, failed := MeanLookupLatency(lookups, func(l workload.Lookup) float64 {
+			if l.Src == l.Dst {
+				return 0
+			}
+			return o.FloodLatency(l.Src, l.Dst, proc)
+		})
+		if failed > 0 {
+			return 0, fmt.Errorf("metrics: %d unreachable pairs in AL sample", failed)
+		}
+		return mean, nil
+	}
+	// Exact: one single-source computation per node, fanned out.
+	rows := make([]float64, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	ch := make(chan int, n)
+	for i := range slots {
+		ch <- i
+	}
+	close(ch)
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := range ch {
+				src := slots[i]
+				total := 0.0
+				for _, dst := range slots {
+					if dst == src {
+						continue
+					}
+					d := o.FloodLatency(src, dst, proc)
+					if math.IsInf(d, 1) {
+						errs[w] = fmt.Errorf("metrics: pair (%d,%d) unreachable", src, dst)
+						return
+					}
+					total += d
+				}
+				rows[i] = total
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	sum := 0.0
+	for _, v := range rows {
+		sum += v
+	}
+	return sum / float64(n*n), nil
+}
+
+// Counters tallies protocol activity for the overhead analysis (§4.3).
+// One Counters value belongs to one single-threaded simulation engine, so
+// plain integers suffice.
+type Counters struct {
+	// Probes is the number of probe cycles started (one per timer firing).
+	Probes uint64
+	// WalkMessages is the number of random-walk forwarding messages
+	// (nhops per successful walk).
+	WalkMessages uint64
+	// MeasureMessages is the number of latency measurements to hypothetical
+	// neighbors (the 2c of PROP-G, the 2m of PROP-O).
+	MeasureMessages uint64
+	// NotifyMessages is the number of neighbor-notification messages sent
+	// after an executed exchange.
+	NotifyMessages uint64
+	// Exchanges is the number of executed peer-exchanges.
+	Exchanges uint64
+	// Rejected is the number of probe cycles whose Var <= MIN_VAR.
+	Rejected uint64
+	// WalkFailures is the number of random walks that got stuck early.
+	WalkFailures uint64
+}
+
+// Messages returns the total message count of the protocol so far.
+func (c Counters) Messages() uint64 {
+	return c.WalkMessages + c.MeasureMessages + c.NotifyMessages
+}
+
+// ProbeMessages returns the messages spent discovering and evaluating
+// exchange opportunities (walk + latency measurement) — the quantity the
+// paper's §4.3 model (nhop + 2c, nhop + 2m) counts. Notifications after an
+// executed exchange are reconstruction cost, tallied separately.
+func (c Counters) ProbeMessages() uint64 {
+	return c.WalkMessages + c.MeasureMessages
+}
+
+// MessagesPerAdjustment returns the average probe-message cost of one
+// adjustment step ("one step of adjustment" in §4.3), or 0 if none ran.
+func (c Counters) MessagesPerAdjustment() float64 {
+	if c.Probes == 0 {
+		return 0
+	}
+	return float64(c.ProbeMessages()) / float64(c.Probes)
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(other Counters) {
+	c.Probes += other.Probes
+	c.WalkMessages += other.WalkMessages
+	c.MeasureMessages += other.MeasureMessages
+	c.NotifyMessages += other.NotifyMessages
+	c.Exchanges += other.Exchanges
+	c.Rejected += other.Rejected
+	c.WalkFailures += other.WalkFailures
+}

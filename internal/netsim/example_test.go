@@ -1,0 +1,37 @@
+package netsim_test
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/rng"
+)
+
+// Example builds the paper's ts-large physical network and asks the oracle
+// for a latency.
+func Example() {
+	net, err := netsim.Generate(netsim.TSLarge(), rng.New(1))
+	if err != nil {
+		panic(err)
+	}
+	oracle := netsim.NewOracle(net)
+	a, b := net.StubHosts[0], net.StubHosts[len(net.StubHosts)-1]
+	fmt.Printf("hosts: %d\n", len(net.StubHosts))
+	fmt.Printf("connected: %v\n", net.Graph.Connected())
+	fmt.Printf("symmetric: %v\n", oracle.Latency(a, b) == oracle.Latency(b, a))
+	// Output:
+	// hosts: 2400
+	// connected: true
+	// symmetric: true
+}
+
+// ExampleOracle_Precompute warms the distance cache in parallel before a
+// measurement phase.
+func ExampleOracle_Precompute() {
+	net, _ := netsim.Generate(netsim.TSSmall(), rng.New(2))
+	oracle := netsim.NewOracle(net)
+	oracle.Precompute(net.StubHosts[:64])
+	fmt.Println(oracle.CachedRows())
+	// Output:
+	// 64
+}

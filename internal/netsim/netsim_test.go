@@ -1,0 +1,355 @@
+package netsim
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	for _, cfg := range []Config{TSLarge(), TSSmall()} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", cfg.Name, err)
+		}
+	}
+}
+
+func TestPresetShapesMatchPaper(t *testing.T) {
+	large, small := TSLarge(), TSSmall()
+	// "ts-large has a larger backbone and sparser edge network than ts-small".
+	if large.TotalTransit() <= small.TotalTransit() {
+		t.Errorf("ts-large backbone (%d) not larger than ts-small (%d)",
+			large.TotalTransit(), small.TotalTransit())
+	}
+	if large.NodesPerStub >= small.NodesPerStub {
+		t.Errorf("ts-large edge density (%d/stub) not sparser than ts-small (%d/stub)",
+			large.NodesPerStub, small.NodesPerStub)
+	}
+	// "both of which contain about [the same number of] nodes".
+	ratio := float64(large.TotalNodes()) / float64(small.TotalNodes())
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("preset sizes diverge: ts-large %d vs ts-small %d", large.TotalNodes(), small.TotalNodes())
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	base := TSLarge()
+	mutations := []func(*Config){
+		func(c *Config) { c.TransitDomains = 0 },
+		func(c *Config) { c.TransitNodesPerDomain = -1 },
+		func(c *Config) { c.StubDomainsPerTransit = -1 },
+		func(c *Config) { c.NodesPerStub = 0 },
+		func(c *Config) { c.StubStubMS = 0 },
+		func(c *Config) { c.StubTransitMS = -5 },
+		func(c *Config) { c.TransitTransitMS = 0 },
+		func(c *Config) { c.StubExtraEdgeProb = 1.5 },
+		func(c *Config) { c.InterDomainEdgeProb = -0.1 },
+	}
+	for i, mutate := range mutations {
+		cfg := base
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d: invalid config accepted", i)
+		}
+		if _, err := Generate(cfg, rng.New(1)); err == nil {
+			t.Errorf("mutation %d: Generate accepted invalid config", i)
+		}
+	}
+}
+
+func TestGenerateCounts(t *testing.T) {
+	cfg := TSLarge()
+	net, err := Generate(cfg, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := net.Graph.NumVertices(); got != cfg.TotalNodes() {
+		t.Errorf("nodes = %d, want %d", got, cfg.TotalNodes())
+	}
+	if got := len(net.StubHosts); got != cfg.TotalStubHosts() {
+		t.Errorf("stub hosts = %d, want %d", got, cfg.TotalStubHosts())
+	}
+	transit := 0
+	for _, tier := range net.Tiers {
+		if tier == TierTransit {
+			transit++
+		}
+	}
+	if transit != cfg.TotalTransit() {
+		t.Errorf("transit routers = %d, want %d", transit, cfg.TotalTransit())
+	}
+}
+
+func TestGenerateConnectedProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		cfg := Config{
+			Name:                  "prop-test",
+			TransitDomains:        1 + r.Intn(5),
+			TransitNodesPerDomain: 1 + r.Intn(4),
+			StubDomainsPerTransit: 1 + r.Intn(3),
+			NodesPerStub:          1 + r.Intn(12),
+			StubExtraEdgeProb:     r.Float64() * 0.3,
+			InterDomainEdgeProb:   r.Float64(),
+			StubStubMS:            5,
+			StubTransitMS:         20,
+			TransitTransitMS:      50,
+		}
+		net, err := Generate(cfg, r)
+		if err != nil {
+			return false
+		}
+		return net.Graph.Connected()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(TSSmall(), rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(TSSmall(), rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, eb := a.Graph.Edges(), b.Graph.Edges()
+	if len(ea) != len(eb) {
+		t.Fatalf("edge counts differ: %d vs %d", len(ea), len(eb))
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, ea[i], eb[i])
+		}
+	}
+}
+
+func TestLinkLatencyClasses(t *testing.T) {
+	cfg := TSLarge()
+	net, err := Generate(cfg, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range net.Graph.Edges() {
+		tu, tv := net.Tiers[e.U], net.Tiers[e.V]
+		var want float64
+		switch {
+		case tu == TierStub && tv == TierStub:
+			want = cfg.StubStubMS
+		case tu == TierTransit && tv == TierTransit:
+			want = cfg.TransitTransitMS
+		default:
+			want = cfg.StubTransitMS
+		}
+		if e.W != want {
+			t.Fatalf("edge %+v: weight %v, want %v (tiers %d-%d)", e, e.W, want, tu, tv)
+		}
+	}
+}
+
+func TestStubDomainLabels(t *testing.T) {
+	cfg := TSSmall()
+	net, err := Generate(cfg, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, h := range net.StubHosts {
+		sd := net.StubDomain[h]
+		if sd < 0 {
+			t.Fatalf("stub host %d has no stub-domain label", h)
+		}
+		counts[sd]++
+	}
+	wantDomains := cfg.TotalTransit() * cfg.StubDomainsPerTransit
+	if len(counts) != wantDomains {
+		t.Fatalf("stub-domain count = %d, want %d", len(counts), wantDomains)
+	}
+	for sd, c := range counts {
+		if c != cfg.NodesPerStub {
+			t.Fatalf("stub domain %d has %d hosts, want %d", sd, c, cfg.NodesPerStub)
+		}
+	}
+	for id, tier := range net.Tiers {
+		if tier == TierTransit && net.StubDomain[id] != -1 {
+			t.Fatalf("transit router %d has stub-domain label %d", id, net.StubDomain[id])
+		}
+	}
+}
+
+func TestIntraStubCloserThanInterDomain(t *testing.T) {
+	net, err := Generate(TSLarge(), rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := NewOracle(net)
+	// Two hosts in the same stub domain must be much closer than two hosts
+	// in different transit domains — the premise of the whole paper.
+	var sameStub, crossDomain []float64
+	hosts := net.StubHosts
+	for i := 0; i < 200; i++ {
+		u, v := hosts[i%len(hosts)], hosts[(i*37+11)%len(hosts)]
+		if u == v {
+			continue
+		}
+		d := o.Latency(u, v)
+		switch {
+		case net.StubDomain[u] == net.StubDomain[v]:
+			sameStub = append(sameStub, d)
+		case net.Domain[u] != net.Domain[v]:
+			crossDomain = append(crossDomain, d)
+		}
+	}
+	if len(sameStub) == 0 || len(crossDomain) == 0 {
+		t.Skip("sample did not cover both classes")
+	}
+	if mean(sameStub) >= mean(crossDomain) {
+		t.Fatalf("same-stub mean %.1f >= cross-domain mean %.1f", mean(sameStub), mean(crossDomain))
+	}
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func TestOracleBasics(t *testing.T) {
+	net, err := Generate(TSSmall(), rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := NewOracle(net)
+	if d := o.Latency(5, 5); d != 0 {
+		t.Fatalf("self latency = %v", d)
+	}
+	d1 := o.Latency(net.StubHosts[0], net.StubHosts[50])
+	d2 := o.Latency(net.StubHosts[50], net.StubHosts[0])
+	if d1 != d2 {
+		t.Fatalf("asymmetric latency: %v vs %v", d1, d2)
+	}
+	if d1 <= 0 || math.IsInf(d1, 1) {
+		t.Fatalf("latency = %v", d1)
+	}
+}
+
+func TestOraclePanicsOutOfRange(t *testing.T) {
+	net, _ := Generate(TSSmall(), rng.New(1))
+	o := NewOracle(net)
+	for _, fn := range []func(){
+		func() { o.Latency(-1, 0) },
+		func() { o.Latency(0, net.Graph.NumVertices()) },
+		func() { o.Row(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for out-of-range query")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestOracleConcurrentAccess(t *testing.T) {
+	net, err := Generate(TSSmall(), rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := NewOracle(net)
+	hosts := net.StubHosts
+	var wg sync.WaitGroup
+	results := make([]float64, 64)
+	for w := 0; w < 64; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// All goroutines query the same pair from both directions.
+			results[w] = o.Latency(hosts[w%2], hosts[100+(w+1)%2])
+		}(w)
+	}
+	wg.Wait()
+	// Every query must agree with a sequential recomputation.
+	seq := NewOracle(net)
+	for w, got := range results {
+		want := seq.Latency(hosts[w%2], hosts[100+(w+1)%2])
+		if got != want {
+			t.Fatalf("worker %d: latency %v, want %v", w, got, want)
+		}
+	}
+}
+
+func TestOraclePrecompute(t *testing.T) {
+	net, err := Generate(TSSmall(), rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := NewOracle(net)
+	srcs := net.StubHosts[:32]
+	o.Precompute(srcs)
+	if got := o.CachedRows(); got != len(srcs) {
+		t.Fatalf("CachedRows = %d, want %d", got, len(srcs))
+	}
+	o.Precompute(nil) // no-op
+	if got := o.CachedRows(); got != len(srcs) {
+		t.Fatalf("CachedRows after empty precompute = %d", got)
+	}
+}
+
+func TestOracleRowSharedWithLatency(t *testing.T) {
+	net, err := Generate(TSSmall(), rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := NewOracle(net)
+	src := net.StubHosts[3]
+	row := o.Row(src)
+	for _, dst := range net.StubHosts[:20] {
+		if row[dst] != o.Latency(src, dst) {
+			t.Fatalf("Row and Latency disagree for (%d,%d)", src, dst)
+		}
+	}
+}
+
+func TestNetworkString(t *testing.T) {
+	net, err := Generate(TSLarge(), rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := net.String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func BenchmarkOracleColdRow(b *testing.B) {
+	net, err := Generate(TSLarge(), rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := NewOracle(net)
+		o.Row(net.StubHosts[i%len(net.StubHosts)])
+	}
+}
+
+func BenchmarkOraclePrecompute256(b *testing.B) {
+	net, err := Generate(TSLarge(), rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := NewOracle(net)
+		o.Precompute(net.StubHosts[:256])
+	}
+}

@@ -1,0 +1,122 @@
+package netsim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// Oracle answers "what is the latency between physical nodes u and v?" — the
+// question every PROP probe, every lookup, and every metric sample asks.
+// In the authors' simulator a probe packet traverses the generated topology;
+// here the equivalent is the shortest-path distance in the physical graph.
+//
+// Distances are computed lazily, one Dijkstra per source, and cached. The
+// cache is safe for concurrent use: parallel trial runners and the parallel
+// metric evaluators all share one Oracle per network. A sync.Once per source
+// row guarantees each Dijkstra runs at most once even under contention, and
+// rows are published through atomic pointers so readers never race writers.
+type Oracle struct {
+	g    *graph.Graph
+	rows []oracleRow
+}
+
+type oracleRow struct {
+	once sync.Once
+	dist atomic.Pointer[[]float64]
+}
+
+// NewOracle builds a latency oracle over the physical graph of net.
+func NewOracle(net *Network) *Oracle {
+	return &Oracle{
+		g:    net.Graph,
+		rows: make([]oracleRow, net.Graph.NumVertices()),
+	}
+}
+
+// Latency returns the physical shortest-path latency from u to v in
+// milliseconds. It panics if either endpoint is out of range (the caller
+// owns node IDs; an out-of-range ID is a programming error, not an
+// environmental condition).
+func (o *Oracle) Latency(u, v int) float64 {
+	if u < 0 || u >= len(o.rows) || v < 0 || v >= len(o.rows) {
+		panic(fmt.Sprintf("netsim: latency query (%d,%d) out of range [0,%d)", u, v, len(o.rows)))
+	}
+	if u == v {
+		return 0
+	}
+	// Prefer an already-computed row in either direction: distances are
+	// symmetric in an undirected graph.
+	if p := o.rows[u].dist.Load(); p != nil {
+		return (*p)[v]
+	}
+	if p := o.rows[v].dist.Load(); p != nil {
+		return (*p)[u]
+	}
+	return o.row(u)[v]
+}
+
+// row returns the cached distance vector from src, computing it on first use.
+func (o *Oracle) row(src int) []float64 {
+	r := &o.rows[src]
+	r.once.Do(func() {
+		d := o.g.ShortestPaths(src)
+		r.dist.Store(&d)
+	})
+	return *r.dist.Load()
+}
+
+// Row exposes the full distance vector from src (shared storage; callers
+// must not mutate it). Useful for bulk metric computation.
+func (o *Oracle) Row(src int) []float64 {
+	if src < 0 || src >= len(o.rows) {
+		panic(fmt.Sprintf("netsim: row query %d out of range [0,%d)", src, len(o.rows)))
+	}
+	return o.row(src)
+}
+
+// Precompute warms the cache for the given sources using up to
+// runtime.GOMAXPROCS(0) worker goroutines. Experiments call this with the
+// overlay's attachment hosts so the measurement phase is contention-free.
+func (o *Oracle) Precompute(sources []int) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(sources) {
+		workers = len(sources)
+	}
+	if workers < 1 {
+		return
+	}
+	ch := make(chan int, len(sources))
+	for _, s := range sources {
+		if s < 0 || s >= len(o.rows) {
+			panic(fmt.Sprintf("netsim: precompute source %d out of range [0,%d)", s, len(o.rows)))
+		}
+		ch <- s
+	}
+	close(ch)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for s := range ch {
+				o.row(s)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// CachedRows reports how many source rows are currently materialized.
+func (o *Oracle) CachedRows() int {
+	n := 0
+	for i := range o.rows {
+		if o.rows[i].dist.Load() != nil {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,449 @@
+// Package overlay provides the logical-overlay model shared by every P2P
+// system in the reproduction (Gnutella, Chord, CAN) and the two exchange
+// primitives of the PROP protocols.
+//
+// The central idea is the slot/host split. An overlay is a logical graph
+// over *slots* — stable logical positions (a Gnutella peer's place in the
+// random graph, a Chord identifier, a CAN zone) — plus a bijection from
+// slots onto physical *hosts* of the transit-stub network. Latency between
+// two slots is the physical latency between their current hosts.
+//
+//   - PROP-G ("exchange all neighbors", i.e. exchange positions and node
+//     identifiers) is exactly SwapHosts(u, v): the logical graph is
+//     untouched, so Theorem 2 (isomorphism) holds by construction.
+//   - PROP-O ("exchange m neighbors each") is ExchangeNeighbors(u, v, A, B):
+//     a degree-preserving rewiring that never touches edges on the probing
+//     walk path, so Theorem 1 (connectivity persistence) holds.
+package overlay
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// LatencyFunc reports the physical latency in milliseconds between two
+// hosts. netsim.Oracle.Latency satisfies this signature.
+type LatencyFunc func(hostA, hostB int) float64
+
+// Overlay is a logical topology mapped onto physical hosts.
+type Overlay struct {
+	// Logical is the overlay graph over slots. Edge weights are fixed at 1;
+	// latency is always derived from the host mapping, never stored in the
+	// graph (it would go stale on every exchange).
+	Logical *graph.Graph
+
+	hostOf     []int       // slot -> physical host, -1 for dead slots
+	slotOfHost map[int]int // physical host -> slot
+	alive      []bool
+	aliveCount int
+	lat        LatencyFunc
+}
+
+// New creates an overlay with one slot per entry of hosts, each slot i
+// attached to hosts[i], and no logical edges. Hosts must be distinct.
+func New(hosts []int, lat LatencyFunc) (*Overlay, error) {
+	if lat == nil {
+		return nil, fmt.Errorf("overlay: nil latency function")
+	}
+	o := &Overlay{
+		Logical:    graph.New(len(hosts)),
+		hostOf:     make([]int, len(hosts)),
+		slotOfHost: make(map[int]int, len(hosts)),
+		alive:      make([]bool, len(hosts)),
+		aliveCount: len(hosts),
+		lat:        lat,
+	}
+	for slot, h := range hosts {
+		if _, dup := o.slotOfHost[h]; dup {
+			return nil, fmt.Errorf("overlay: host %d attached to two slots", h)
+		}
+		o.hostOf[slot] = h
+		o.slotOfHost[h] = slot
+		o.alive[slot] = true
+	}
+	return o, nil
+}
+
+// NumSlots returns the total slot count, including dead slots.
+func (o *Overlay) NumSlots() int { return len(o.hostOf) }
+
+// NumAlive returns the number of live slots.
+func (o *Overlay) NumAlive() int { return o.aliveCount }
+
+// Alive reports whether slot u is live.
+func (o *Overlay) Alive(u int) bool {
+	return u >= 0 && u < len(o.alive) && o.alive[u]
+}
+
+// AliveSlots returns all live slot IDs in ascending order.
+func (o *Overlay) AliveSlots() []int {
+	out := make([]int, 0, o.aliveCount)
+	for s, a := range o.alive {
+		if a {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// HostOf returns the physical host currently backing slot u, or -1 for a
+// dead or out-of-range slot.
+func (o *Overlay) HostOf(u int) int {
+	if !o.Alive(u) {
+		return -1
+	}
+	return o.hostOf[u]
+}
+
+// SlotOfHost returns the slot a host currently backs, or -1 if none.
+func (o *Overlay) SlotOfHost(h int) int {
+	if s, ok := o.slotOfHost[h]; ok {
+		return s
+	}
+	return -1
+}
+
+// Hosts returns the hosts backing all live slots.
+func (o *Overlay) Hosts() []int {
+	out := make([]int, 0, o.aliveCount)
+	for s, a := range o.alive {
+		if a {
+			out = append(out, o.hostOf[s])
+		}
+	}
+	return out
+}
+
+// Dist returns the physical latency between the hosts of slots u and v.
+// Both slots must be alive.
+func (o *Overlay) Dist(u, v int) float64 {
+	if !o.Alive(u) || !o.Alive(v) {
+		panic(fmt.Sprintf("overlay: Dist(%d,%d) on dead slot", u, v))
+	}
+	return o.lat(o.hostOf[u], o.hostOf[v])
+}
+
+// HostLatency exposes the underlying host-to-host latency function, for
+// callers that need to build derived measurements (e.g. noisy probe RTTs).
+func (o *Overlay) HostLatency(a, b int) float64 { return o.lat(a, b) }
+
+// NeighborLatencySum returns Σ_{i ∈ N(u)} d(u, i): the quantity each PROP
+// node maintains about its own neighborhood (§3.2).
+func (o *Overlay) NeighborLatencySum(u int) float64 {
+	sum := 0.0
+	o.Logical.VisitNeighbors(u, func(v int, _ float64) bool {
+		sum += o.Dist(u, v)
+		return true
+	})
+	return sum
+}
+
+// AddEdge inserts a logical link between slots u and v.
+func (o *Overlay) AddEdge(u, v int) error {
+	if !o.Alive(u) || !o.Alive(v) {
+		return fmt.Errorf("overlay: AddEdge(%d,%d) on dead slot", u, v)
+	}
+	return o.Logical.AddEdge(u, v, 1)
+}
+
+// RemoveEdge deletes a logical link; it reports whether it existed.
+func (o *Overlay) RemoveEdge(u, v int) bool { return o.Logical.RemoveEdge(u, v) }
+
+// Neighbors returns the live logical neighbors of slot u.
+func (o *Overlay) Neighbors(u int) []int { return o.Logical.Neighbors(u) }
+
+// Degree returns the logical degree of slot u.
+func (o *Overlay) Degree(u int) int { return o.Logical.Degree(u) }
+
+// SwapHosts exchanges the physical hosts of slots u and v — the PROP-G
+// peer-exchange. The logical graph (and therefore every routing table that
+// is defined in terms of slots) is untouched.
+func (o *Overlay) SwapHosts(u, v int) error {
+	if !o.Alive(u) || !o.Alive(v) {
+		return fmt.Errorf("overlay: SwapHosts(%d,%d) on dead slot", u, v)
+	}
+	if u == v {
+		return fmt.Errorf("overlay: SwapHosts with identical slots %d", u)
+	}
+	hu, hv := o.hostOf[u], o.hostOf[v]
+	o.hostOf[u], o.hostOf[v] = hv, hu
+	o.slotOfHost[hu], o.slotOfHost[hv] = v, u
+	return nil
+}
+
+// ExchangeNeighbors performs the PROP-O peer-exchange: slot u hands the
+// neighbors in give to v, and v hands the neighbors in take to u. The
+// operation enforces the paper's §3.1 constraints:
+//
+//   - |give| == |take| > 0 (equal numbers, so degrees are preserved);
+//   - give ⊆ N(u)\{v}, take ⊆ N(v)\{u};
+//   - no moved neighbor may already be adjacent to (or equal to) its new
+//     endpoint, which would silently merge edges and break degrees;
+//   - no moved neighbor may appear in forbidden (the u–v walk path), which
+//     is what keeps the overlay connected (Theorem 1).
+//
+// On success the edges {u,a} become {v,a} for a ∈ give and {v,b} become
+// {u,b} for b ∈ take. The operation is all-or-nothing.
+func (o *Overlay) ExchangeNeighbors(u, v int, give, take []int, forbidden []int) error {
+	if !o.Alive(u) || !o.Alive(v) {
+		return fmt.Errorf("overlay: ExchangeNeighbors(%d,%d) on dead slot", u, v)
+	}
+	if u == v {
+		return fmt.Errorf("overlay: ExchangeNeighbors with identical slots %d", u)
+	}
+	if len(give) == 0 || len(give) != len(take) {
+		return fmt.Errorf("overlay: exchange sizes |give|=%d |take|=%d must be equal and positive",
+			len(give), len(take))
+	}
+	banned := make(map[int]bool, len(forbidden)+2)
+	for _, p := range forbidden {
+		banned[p] = true
+	}
+	seen := make(map[int]bool, len(give)+len(take))
+	for _, a := range give {
+		if err := o.checkMove(u, v, a, banned); err != nil {
+			return err
+		}
+		if seen[a] {
+			return fmt.Errorf("overlay: neighbor %d listed twice", a)
+		}
+		seen[a] = true
+	}
+	for _, b := range take {
+		if err := o.checkMove(v, u, b, banned); err != nil {
+			return err
+		}
+		if seen[b] {
+			return fmt.Errorf("overlay: neighbor %d listed twice", b)
+		}
+		seen[b] = true
+	}
+	// All validated; apply. (Validation guarantees no step can fail.)
+	for _, a := range give {
+		o.Logical.RemoveEdge(u, a)
+		o.Logical.MustAddEdge(v, a, 1)
+	}
+	for _, b := range take {
+		o.Logical.RemoveEdge(v, b)
+		o.Logical.MustAddEdge(u, b, 1)
+	}
+	return nil
+}
+
+// checkMove validates relocating edge {from,x} to {to,x}.
+func (o *Overlay) checkMove(from, to, x int, banned map[int]bool) error {
+	if !o.Alive(x) {
+		return fmt.Errorf("overlay: exchanged neighbor %d is dead", x)
+	}
+	if x == from || x == to {
+		return fmt.Errorf("overlay: exchanged neighbor %d is an endpoint", x)
+	}
+	if !o.Logical.HasEdge(from, x) {
+		return fmt.Errorf("overlay: %d is not a neighbor of %d", x, from)
+	}
+	if o.Logical.HasEdge(to, x) {
+		return fmt.Errorf("overlay: %d already adjacent to %d; move would merge edges", x, to)
+	}
+	if banned[x] {
+		return fmt.Errorf("overlay: neighbor %d lies on the probing path", x)
+	}
+	return nil
+}
+
+// ExchangeGain returns Var for a hypothetical PROP-O exchange (§3.2 eq. 2):
+// the total neighbor latency before minus after. Positive values mean the
+// exchange helps.
+func (o *Overlay) ExchangeGain(u, v int, give, take []int) float64 {
+	return o.ExchangeGainMeasured(u, v, give, take, o.Dist)
+}
+
+// ExchangeGainMeasured is ExchangeGain computed with a caller-supplied
+// distance measurement instead of ground truth — how a real peer evaluates
+// Var from (noisy) probe RTTs. measure is called with slot pairs.
+func (o *Overlay) ExchangeGainMeasured(u, v int, give, take []int, measure func(a, b int) float64) float64 {
+	gain := 0.0
+	for _, a := range give {
+		gain += measure(u, a) - measure(v, a)
+	}
+	for _, b := range take {
+		gain += measure(v, b) - measure(u, b)
+	}
+	return gain
+}
+
+// SwapGain returns Var for a hypothetical PROP-G exchange: the change in
+// Σ d(u,N(u)) + Σ d(v,N(v)) if u and v swap hosts. The shared edge {u,v},
+// if present, cancels out by symmetry and needs no special casing.
+func (o *Overlay) SwapGain(u, v int) float64 {
+	return o.SwapGainMeasured(u, v, o.lat)
+}
+
+// SwapGainMeasured is SwapGain computed with a caller-supplied host-to-host
+// measurement instead of the true latency function — how a real peer
+// evaluates Var from (noisy) probe RTTs. measure is called with host pairs.
+func (o *Overlay) SwapGainMeasured(u, v int, measure LatencyFunc) float64 {
+	if !o.Alive(u) || !o.Alive(v) {
+		panic(fmt.Sprintf("overlay: SwapGain(%d,%d) on dead slot", u, v))
+	}
+	hu, hv := o.hostOf[u], o.hostOf[v]
+	before, after := 0.0, 0.0
+	o.Logical.VisitNeighbors(u, func(i int, _ float64) bool {
+		hi := o.hostOf[i]
+		if i == v {
+			hi = hu // v's host after the swap; d is symmetric so value is unchanged
+		}
+		before += measure(hu, o.hostOf[i])
+		after += measure(hv, hi)
+		return true
+	})
+	o.Logical.VisitNeighbors(v, func(i int, _ float64) bool {
+		hi := o.hostOf[i]
+		if i == u {
+			hi = hv
+		}
+		before += measure(hv, o.hostOf[i])
+		after += measure(hu, hi)
+		return true
+	})
+	return before - after
+}
+
+// RandomWalk performs the TTL-limited random contact of §3.2: starting at
+// slot start, the first hop is firstHop (chosen by the caller from the
+// neighborQ), and each later hop is a uniformly random neighbor that is not
+// already on the path ("add an identifier … to avoid repetitive
+// forwarding"). The walk succeeds when exactly ttl hops have been taken;
+// it fails if the walk gets stuck early. The returned path includes both
+// endpoints: path[0] == start, path[len-1] == target.
+func (o *Overlay) RandomWalk(start, firstHop, ttl int, r *rng.Rand) (path []int, ok bool) {
+	if ttl < 1 || !o.Alive(start) || !o.Alive(firstHop) {
+		return nil, false
+	}
+	if !o.Logical.HasEdge(start, firstHop) {
+		return nil, false
+	}
+	path = make([]int, 0, ttl+1)
+	onPath := map[int]bool{start: true, firstHop: true}
+	path = append(path, start, firstHop)
+	cur := firstHop
+	for hop := 1; hop < ttl; hop++ {
+		var candidates []int
+		o.Logical.VisitNeighbors(cur, func(nb int, _ float64) bool {
+			if !onPath[nb] && o.Alive(nb) {
+				candidates = append(candidates, nb)
+			}
+			return true
+		})
+		if len(candidates) == 0 {
+			return path, false
+		}
+		sort.Ints(candidates) // determinism: map iteration order is random
+		cur = candidates[r.Intn(len(candidates))]
+		onPath[cur] = true
+		path = append(path, cur)
+	}
+	return path, true
+}
+
+// MeanLinkLatency returns the average physical latency of the live logical
+// links — the numerator of the paper's stretch metric.
+func (o *Overlay) MeanLinkLatency() float64 {
+	sum, count := 0.0, 0
+	for _, e := range o.Logical.Edges() {
+		if o.Alive(e.U) && o.Alive(e.V) {
+			sum += o.Dist(e.U, e.V)
+			count++
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / float64(count)
+}
+
+// Stretch returns the paper's §4.2 metric: average logical link latency over
+// average physical link latency.
+func (o *Overlay) Stretch(meanPhysicalLink float64) float64 {
+	if meanPhysicalLink <= 0 {
+		return 0
+	}
+	return o.MeanLinkLatency() / meanPhysicalLink
+}
+
+// Connected reports whether the subgraph induced by live slots is connected.
+func (o *Overlay) Connected() bool {
+	var start = -1
+	for s, a := range o.alive {
+		if a {
+			start = s
+			break
+		}
+	}
+	if start < 0 {
+		return true
+	}
+	visited := map[int]bool{start: true}
+	queue := []int{start}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		o.Logical.VisitNeighbors(u, func(v int, _ float64) bool {
+			if o.Alive(v) && !visited[v] {
+				visited[v] = true
+				queue = append(queue, v)
+			}
+			return true
+		})
+	}
+	return len(visited) == o.aliveCount
+}
+
+// AddSlot creates a new live slot attached to host and returns its ID. The
+// host must not already back a slot.
+func (o *Overlay) AddSlot(host int) (int, error) {
+	if s, ok := o.slotOfHost[host]; ok && o.Alive(s) {
+		return -1, fmt.Errorf("overlay: host %d already backs slot %d", host, s)
+	}
+	slot := o.Logical.AddVertex()
+	o.hostOf = append(o.hostOf, host)
+	o.alive = append(o.alive, true)
+	o.slotOfHost[host] = slot
+	o.aliveCount++
+	return slot, nil
+}
+
+// RemoveSlot kills slot u: all its logical edges are dropped and its host
+// is released. Neighbor repair (reconnecting the survivors) is the
+// responsibility of the specific overlay protocol.
+func (o *Overlay) RemoveSlot(u int) error {
+	if !o.Alive(u) {
+		return fmt.Errorf("overlay: RemoveSlot(%d) on dead slot", u)
+	}
+	for _, v := range o.Logical.Neighbors(u) {
+		o.Logical.RemoveEdge(u, v)
+	}
+	delete(o.slotOfHost, o.hostOf[u])
+	o.hostOf[u] = -1
+	o.alive[u] = false
+	o.aliveCount--
+	return nil
+}
+
+// Clone returns a deep copy sharing only the latency function.
+func (o *Overlay) Clone() *Overlay {
+	c := &Overlay{
+		Logical:    o.Logical.Clone(),
+		hostOf:     append([]int(nil), o.hostOf...),
+		slotOfHost: make(map[int]int, len(o.slotOfHost)),
+		alive:      append([]bool(nil), o.alive...),
+		aliveCount: o.aliveCount,
+		lat:        o.lat,
+	}
+	for h, s := range o.slotOfHost {
+		c.slotOfHost[h] = s
+	}
+	return c
+}

@@ -1,0 +1,38 @@
+package pastry
+
+import (
+	"testing"
+
+	"repro/internal/dhttest"
+	"repro/internal/overlay"
+	"repro/internal/rng"
+)
+
+type dhtAdapter struct{ m *Mesh }
+
+func (a dhtAdapter) Overlay() *overlay.Overlay { return a.m.O }
+func (a dhtAdapter) Owner(key uint32) int      { return a.m.Owner(key) }
+func (a dhtAdapter) Lookup(src int, key uint32, proc overlay.ProcDelayFunc) (int, int, float64, error) {
+	res, err := a.m.Lookup(src, key, proc)
+	return res.Owner, res.Hops, res.Latency, err
+}
+
+func TestDHTConformance(t *testing.T) {
+	dhttest.Run(t, func(hosts []int, l overlay.LatencyFunc, r *rng.Rand) (dhttest.DHT, error) {
+		m, err := Build(hosts, DefaultConfig(), l, r)
+		if err != nil {
+			return nil, err
+		}
+		return dhtAdapter{m}, nil
+	})
+}
+
+func TestDHTConformanceProximity(t *testing.T) {
+	dhttest.Run(t, func(hosts []int, l overlay.LatencyFunc, r *rng.Rand) (dhttest.DHT, error) {
+		m, err := Build(hosts, Config{LeafSetSize: 8, Proximity: true}, l, r)
+		if err != nil {
+			return nil, err
+		}
+		return dhtAdapter{m}, nil
+	})
+}

@@ -1,0 +1,386 @@
+// Package pastry implements the Pastry distributed hash table (Rowstron &
+// Druschel, Middleware '01) over the slot/host overlay model — the third
+// structured substrate of the reproduction.
+//
+// Pastry matters to the paper for two reasons. First, it is the canonical
+// system whose routing-table entries are *not* deterministic: any node with
+// the right identifier prefix qualifies, so Pastry can natively apply
+// Proximity Neighbor Selection — the baseline family the paper contrasts
+// with. Second, it has a different routing geometry from Chord (prefix
+// routing plus leaf sets), so reproducing PROP-G on it exercises the
+// "deployed effortlessly on both unstructured and structured systems"
+// claim beyond a single DHT.
+//
+// Identifiers are 32-bit, read as 8 hexadecimal digits. Each node keeps a
+// leaf set (the L/2 numerically closest nodes on each side of the ring) and
+// a routing table with one row per digit position: row r column c holds a
+// node that shares the first r digits with the owner and has digit c at
+// position r. With Proximity enabled the physically nearest qualifying
+// candidate is chosen; otherwise the numerically first.
+package pastry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/overlay"
+	"repro/internal/rng"
+)
+
+const (
+	// DigitBits is the bits per identifier digit (hexadecimal digits).
+	DigitBits = 4
+	// Digits is the number of digits in a 32-bit identifier.
+	Digits = 32 / DigitBits
+	// Cols is the number of distinct digit values per row.
+	Cols = 1 << DigitBits
+)
+
+// Config parameterizes mesh construction.
+type Config struct {
+	// LeafSetSize is the total leaf-set size (half per side). Must be an
+	// even number >= 2.
+	LeafSetSize int
+	// Proximity enables Pastry's native PNS: routing-table candidates are
+	// chosen by physical nearness.
+	Proximity bool
+}
+
+// DefaultConfig mirrors a standard small Pastry deployment.
+func DefaultConfig() Config { return Config{LeafSetSize: 8} }
+
+// Mesh is a built Pastry overlay.
+type Mesh struct {
+	// O is the underlying overlay; logical links mirror the union of leaf
+	// sets and routing-table entries (bidirectional).
+	O *overlay.Overlay
+	// ID holds each slot's identifier.
+	ID []uint32
+
+	cfg    Config
+	sorted []int       // slots by ID
+	leaves [][]int     // per slot: leaf-set slots
+	table  [][][]int   // per slot: [row][col] -> slot or -1
+	pos    map[int]int // slot -> index in sorted
+}
+
+// Build constructs a Pastry mesh over the given hosts with distinct random
+// identifiers.
+func Build(hosts []int, cfg Config, lat overlay.LatencyFunc, r *rng.Rand) (*Mesh, error) {
+	n := len(hosts)
+	if n < 2 {
+		return nil, fmt.Errorf("pastry: need at least 2 nodes, got %d", n)
+	}
+	if cfg.LeafSetSize < 2 || cfg.LeafSetSize%2 != 0 {
+		return nil, fmt.Errorf("pastry: LeafSetSize = %d, want even >= 2", cfg.LeafSetSize)
+	}
+	o, err := overlay.New(hosts, lat)
+	if err != nil {
+		return nil, err
+	}
+	m := &Mesh{
+		O:      o,
+		ID:     make([]uint32, n),
+		cfg:    cfg,
+		leaves: make([][]int, n),
+		table:  make([][][]int, n),
+		pos:    make(map[int]int, n),
+	}
+	used := make(map[uint32]bool, n)
+	for s := 0; s < n; s++ {
+		for {
+			id := uint32(r.Uint64())
+			if !used[id] {
+				used[id] = true
+				m.ID[s] = id
+				break
+			}
+		}
+	}
+	m.sorted = make([]int, n)
+	for i := range m.sorted {
+		m.sorted[i] = i
+	}
+	sort.Slice(m.sorted, func(i, j int) bool { return m.ID[m.sorted[i]] < m.ID[m.sorted[j]] })
+	for i, s := range m.sorted {
+		m.pos[s] = i
+	}
+	m.buildLeafSets()
+	m.buildTables(lat)
+	m.mirror()
+	return m, nil
+}
+
+// buildLeafSets links each node to its L/2 ring neighbors per side.
+func (m *Mesh) buildLeafSets() {
+	n := len(m.ID)
+	half := m.cfg.LeafSetSize / 2
+	if half > (n-1)/2 {
+		half = (n - 1) / 2
+		if half < 1 {
+			half = 1
+		}
+	}
+	for _, s := range m.sorted {
+		i := m.pos[s]
+		seen := map[int]bool{s: true}
+		var leaves []int
+		for k := 1; k <= half; k++ {
+			for _, cand := range []int{m.sorted[(i+k)%n], m.sorted[((i-k)%n+n)%n]} {
+				if !seen[cand] {
+					seen[cand] = true
+					leaves = append(leaves, cand)
+				}
+			}
+		}
+		sort.Ints(leaves)
+		m.leaves[s] = leaves
+	}
+}
+
+// digit returns the d-th hexadecimal digit of id, most significant first.
+func digit(id uint32, d int) int {
+	shift := uint(32 - DigitBits*(d+1))
+	return int(id>>shift) & (Cols - 1)
+}
+
+// sharedPrefix returns the number of leading digits a and b share.
+func sharedPrefix(a, b uint32) int {
+	for d := 0; d < Digits; d++ {
+		if digit(a, d) != digit(b, d) {
+			return d
+		}
+	}
+	return Digits
+}
+
+// buildTables fills each node's routing table from global knowledge (the
+// simulator's equivalent of a converged Pastry join protocol).
+func (m *Mesh) buildTables(lat overlay.LatencyFunc) {
+	n := len(m.ID)
+	// Group nodes by every (prefix length, prefix value) bucket lazily:
+	// for each node s and row r, candidates share digits [0,r) with s and
+	// differ at r. A single pass per node over all nodes is O(n²) — fine at
+	// simulation scale and run once.
+	for s := 0; s < n; s++ {
+		rows := make([][]int, Digits)
+		for r := range rows {
+			row := make([]int, Cols)
+			for c := range row {
+				row[c] = -1
+			}
+			rows[r] = row
+		}
+		bestD := make([][]float64, Digits)
+		for r := range bestD {
+			bestD[r] = make([]float64, Cols)
+			for c := range bestD[r] {
+				bestD[r][c] = math.Inf(1)
+			}
+		}
+		hs := m.O.HostOf(s)
+		for t := 0; t < n; t++ {
+			if t == s {
+				continue
+			}
+			r := sharedPrefix(m.ID[s], m.ID[t])
+			if r == Digits {
+				continue
+			}
+			c := digit(m.ID[t], r)
+			if m.cfg.Proximity {
+				d := lat(hs, m.O.HostOf(t))
+				if d < bestD[r][c] {
+					bestD[r][c] = d
+					rows[r][c] = t
+				}
+			} else if rows[r][c] == -1 || m.ID[t] < m.ID[rows[r][c]] {
+				rows[r][c] = t
+			}
+		}
+		m.table[s] = rows
+	}
+}
+
+// mirror reflects leaf sets and routing tables into the overlay's logical
+// graph (bidirectional links, per the paper's §3.2 assumption).
+func (m *Mesh) mirror() {
+	for s := range m.ID {
+		for _, l := range m.leaves[s] {
+			m.O.AddEdge(s, l)
+		}
+		for _, row := range m.table[s] {
+			for _, t := range row {
+				if t >= 0 && t != s {
+					m.O.AddEdge(s, t)
+				}
+			}
+		}
+	}
+}
+
+// Refresh recomputes the routing tables (and logical links) against the
+// current host mapping — Pastry's routing-table maintenance. Only matters
+// for Proximity meshes after PROP-G exchanges; plain meshes are unchanged.
+func (m *Mesh) Refresh(lat overlay.LatencyFunc) {
+	for _, e := range m.O.Logical.Edges() {
+		m.O.Logical.RemoveEdge(e.U, e.V)
+	}
+	m.buildTables(lat)
+	m.mirror()
+}
+
+// ringDist is the circular distance between two identifiers.
+func ringDist(a, b uint32) uint32 {
+	d := a - b
+	if b > a {
+		d = b - a
+	}
+	if d > math.MaxUint32/2 {
+		return math.MaxUint32 - d + 1
+	}
+	return d
+}
+
+// Owner returns the slot whose identifier is circularly closest to key
+// (ties to the lower ID) — the node responsible for the key.
+func (m *Mesh) Owner(key uint32) int {
+	// Binary search the sorted ring, then compare the two flanking nodes.
+	n := len(m.sorted)
+	lo := sort.Search(n, func(i int) bool { return m.ID[m.sorted[i]] >= key })
+	best, bestDist := -1, uint32(math.MaxUint32)
+	for _, i := range []int{(lo - 1 + n) % n, lo % n, (lo + 1) % n} {
+		s := m.sorted[i]
+		d := ringDist(m.ID[s], key)
+		if d < bestDist || (d == bestDist && (best == -1 || m.ID[s] < m.ID[best])) {
+			best, bestDist = s, d
+		}
+	}
+	return best
+}
+
+// LookupResult describes one routed lookup.
+type LookupResult struct {
+	// Owner is the slot responsible for the key.
+	Owner int
+	// Hops is the overlay hop count.
+	Hops int
+	// Latency is the summed physical latency plus processing delays.
+	Latency float64
+	// Path lists visited slots.
+	Path []int
+}
+
+// Lookup routes a query for key from src using Pastry's algorithm: deliver
+// within the leaf set when possible, otherwise follow the routing-table
+// entry with a longer shared prefix, otherwise fall back to any known node
+// strictly closer to the key. proc, if non-nil, adds per-hop processing
+// delay.
+func (m *Mesh) Lookup(src int, key uint32, proc overlay.ProcDelayFunc) (LookupResult, error) {
+	if !m.O.Alive(src) {
+		return LookupResult{}, fmt.Errorf("pastry: lookup from dead slot %d", src)
+	}
+	owner := m.Owner(key)
+	res := LookupResult{Owner: owner, Path: []int{src}}
+	cur := src
+	maxHops := len(m.ID) + Digits
+	for cur != owner {
+		next := m.nextHop(cur, key)
+		if next == cur {
+			return res, fmt.Errorf("pastry: routing stuck at slot %d for key %d", cur, key)
+		}
+		res.Latency += m.O.Dist(cur, next)
+		if proc != nil {
+			res.Latency += proc(next)
+		}
+		res.Hops++
+		res.Path = append(res.Path, next)
+		cur = next
+		if res.Hops > maxHops {
+			return res, fmt.Errorf("pastry: routing exceeded %d hops for key %d", maxHops, key)
+		}
+	}
+	return res, nil
+}
+
+// nextHop implements one Pastry routing decision at cur.
+func (m *Mesh) nextHop(cur int, key uint32) int {
+	// 1. Leaf set: if any leaf (or cur) is closest, go numerically closest.
+	bestLeaf, bestLeafDist := cur, ringDist(m.ID[cur], key)
+	for _, l := range m.leaves[cur] {
+		if d := ringDist(m.ID[l], key); d < bestLeafDist ||
+			(d == bestLeafDist && m.ID[l] < m.ID[bestLeaf]) {
+			bestLeaf, bestLeafDist = l, d
+		}
+	}
+	// If the key falls inside the leaf-set span, the closest leaf is the
+	// right delivery point.
+	if m.keyInLeafRange(cur, key) {
+		return bestLeaf
+	}
+	// 2. Routing table: entry sharing one more digit with the key.
+	r := sharedPrefix(m.ID[cur], key)
+	if r < Digits {
+		if t := m.table[cur][r][digit(key, r)]; t >= 0 {
+			return t
+		}
+	}
+	// 3. Rare case: any known node with shared prefix >= r that is strictly
+	// numerically closer; leaf fallback included.
+	curDist := ringDist(m.ID[cur], key)
+	best, bestDist := cur, curDist
+	consider := func(t int) {
+		if t < 0 || t == cur {
+			return
+		}
+		if sharedPrefix(m.ID[t], key) < r {
+			return
+		}
+		if d := ringDist(m.ID[t], key); d < bestDist {
+			best, bestDist = t, d
+		}
+	}
+	for _, l := range m.leaves[cur] {
+		consider(l)
+	}
+	for _, row := range m.table[cur] {
+		for _, t := range row {
+			consider(t)
+		}
+	}
+	return best
+}
+
+// keyInLeafRange reports whether key lies within cur's leaf-set span on the
+// ring (between the numerically smallest and largest leaf, passing through
+// cur).
+func (m *Mesh) keyInLeafRange(cur int, key uint32) bool {
+	if len(m.leaves[cur]) == 0 {
+		return true
+	}
+	n := len(m.sorted)
+	i := m.pos[cur]
+	half := (len(m.leaves[cur]) + 1) / 2
+	loSlot := m.sorted[((i-half)%n+n)%n]
+	hiSlot := m.sorted[(i+half)%n]
+	lo, hi := m.ID[loSlot], m.ID[hiSlot]
+	if lo <= hi {
+		return key >= lo && key <= hi
+	}
+	return key >= lo || key <= hi // wraps zero
+}
+
+// RandomKey returns a uniform key.
+func RandomKey(r *rng.Rand) uint32 { return uint32(r.Uint64()) }
+
+// Leaves exposes a slot's leaf set (shared storage; do not mutate).
+func (m *Mesh) Leaves(s int) []int { return m.leaves[s] }
+
+// TableEntry exposes routing-table entry (row, col) of slot s, or -1.
+func (m *Mesh) TableEntry(s, row, col int) int {
+	if row < 0 || row >= Digits || col < 0 || col >= Cols {
+		return -1
+	}
+	return m.table[s][row][col]
+}

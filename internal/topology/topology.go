@@ -1,0 +1,169 @@
+// Package topology builds the canonical structured overlay shapes the paper
+// names when arguing PROP-G's generality (§4.1: "as an auxiliary method, it
+// is suitable for different topologies: ring, hypercube, tree, and so on").
+//
+// Each builder returns a slot/host overlay whose logical graph is the exact
+// mathematical object — a cycle, a binary hypercube, a complete k-ary tree,
+// a 2-d torus grid — so the PROP-G isomorphism guarantee can be exercised
+// and property-tested on every geometry the claim covers.
+package topology
+
+import (
+	"fmt"
+
+	"repro/internal/overlay"
+)
+
+// Kind names a supported overlay shape.
+type Kind string
+
+const (
+	// Ring is a simple cycle (the Chord geometry skeleton).
+	Ring Kind = "ring"
+	// Hypercube is the d-dimensional binary hypercube (requires 2^d hosts).
+	Hypercube Kind = "hypercube"
+	// Tree is a complete binary tree.
+	Tree Kind = "tree"
+	// Torus is a 2-d wrap-around grid (the CAN geometry skeleton; requires
+	// a perfect square host count).
+	Torus Kind = "torus"
+)
+
+// Kinds lists every supported shape.
+func Kinds() []Kind { return []Kind{Ring, Hypercube, Tree, Torus} }
+
+// Build constructs the named shape over the given hosts.
+func Build(kind Kind, hosts []int, lat overlay.LatencyFunc) (*overlay.Overlay, error) {
+	switch kind {
+	case Ring:
+		return BuildRing(hosts, lat)
+	case Hypercube:
+		return BuildHypercube(hosts, lat)
+	case Tree:
+		return BuildTree(hosts, lat)
+	case Torus:
+		return BuildTorus(hosts, lat)
+	default:
+		return nil, fmt.Errorf("topology: unknown kind %q", kind)
+	}
+}
+
+// BuildRing connects the n slots in a cycle.
+func BuildRing(hosts []int, lat overlay.LatencyFunc) (*overlay.Overlay, error) {
+	n := len(hosts)
+	if n < 3 {
+		return nil, fmt.Errorf("topology: ring needs >= 3 nodes, got %d", n)
+	}
+	o, err := overlay.New(hosts, lat)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		if err := o.AddEdge(i, (i+1)%n); err != nil {
+			return nil, err
+		}
+	}
+	return o, nil
+}
+
+// BuildHypercube links slots whose indices differ in exactly one bit.
+// The host count must be a power of two.
+func BuildHypercube(hosts []int, lat overlay.LatencyFunc) (*overlay.Overlay, error) {
+	n := len(hosts)
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("topology: hypercube needs a power-of-two node count, got %d", n)
+	}
+	o, err := overlay.New(hosts, lat)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		for bit := 1; bit < n; bit <<= 1 {
+			j := i ^ bit
+			if i < j {
+				if err := o.AddEdge(i, j); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return o, nil
+}
+
+// BuildTree links slot i to its children 2i+1 and 2i+2 — a complete binary
+// tree in heap order.
+func BuildTree(hosts []int, lat overlay.LatencyFunc) (*overlay.Overlay, error) {
+	n := len(hosts)
+	if n < 2 {
+		return nil, fmt.Errorf("topology: tree needs >= 2 nodes, got %d", n)
+	}
+	o, err := overlay.New(hosts, lat)
+	if err != nil {
+		return nil, err
+	}
+	for i := 1; i < n; i++ {
+		if err := o.AddEdge(i, (i-1)/2); err != nil {
+			return nil, err
+		}
+	}
+	return o, nil
+}
+
+// BuildTorus arranges the slots in a √n × √n wrap-around grid. The host
+// count must be a perfect square of side >= 3 (smaller sides collapse the
+// wrap edges into duplicates).
+func BuildTorus(hosts []int, lat overlay.LatencyFunc) (*overlay.Overlay, error) {
+	n := len(hosts)
+	side := intSqrt(n)
+	if side*side != n || side < 3 {
+		return nil, fmt.Errorf("topology: torus needs a perfect-square node count with side >= 3, got %d", n)
+	}
+	o, err := overlay.New(hosts, lat)
+	if err != nil {
+		return nil, err
+	}
+	at := func(r, c int) int { return r*side + c }
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			if err := o.AddEdge(at(r, c), at(r, (c+1)%side)); err != nil {
+				return nil, err
+			}
+			if err := o.AddEdge(at(r, c), at((r+1)%side, c)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return o, nil
+}
+
+func intSqrt(n int) int {
+	if n < 0 {
+		return 0
+	}
+	x := 0
+	for (x+1)*(x+1) <= n {
+		x++
+	}
+	return x
+}
+
+// ExpectedEdges returns the edge count of the shape over n nodes, for
+// structural verification.
+func ExpectedEdges(kind Kind, n int) (int, error) {
+	switch kind {
+	case Ring:
+		return n, nil
+	case Hypercube:
+		d := 0
+		for m := n; m > 1; m >>= 1 {
+			d++
+		}
+		return n * d / 2, nil
+	case Tree:
+		return n - 1, nil
+	case Torus:
+		return 2 * n, nil
+	default:
+		return 0, fmt.Errorf("topology: unknown kind %q", kind)
+	}
+}
