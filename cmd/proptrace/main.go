@@ -6,6 +6,22 @@
 //
 //	proptrace [-policy G|O] [-n 300] [-nhops 2] [-m 0] [-minutes 30]
 //	          [-preset ts-large] [-seed 1] [-quiet]
+//
+// Two subcommands expose the audit/replay subsystem (internal/audit):
+//
+//	proptrace record [-out trace.jsonl] [-policy PROP-G|PROP-O] [-n 48]
+//	          [-nhops 2] [-m 0] [-minutes 30] [-preset small|large]
+//	          [-seed 1] [-interval 0] [-fault ghost-edge|drop-edge]
+//	          [-fault-after 0]
+//	    runs one audited session, streams every protocol event to a
+//	    replayable JSONL trace, and reports the invariant audit. Exits 1
+//	    when the audit found violations (e.g. under an injected fault).
+//
+//	proptrace replay [-shrink] trace.jsonl
+//	    re-runs the session recorded in the trace header and verifies the
+//	    event stream is byte-for-byte reproducible; -shrink additionally
+//	    minimizes a violating session to the smallest event-count bound
+//	    that still reproduces the violation.
 package main
 
 import (
@@ -13,6 +29,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/event"
 	"repro/internal/gnutella"
@@ -21,6 +38,124 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "record":
+			runRecord(os.Args[2:])
+			return
+		case "replay":
+			runReplay(os.Args[2:])
+			return
+		}
+	}
+	runLegacy()
+}
+
+// runRecord executes one audited session and writes the replayable trace.
+func runRecord(args []string) {
+	fs := flag.NewFlagSet("proptrace record", flag.ExitOnError)
+	var (
+		out        = fs.String("out", "trace.jsonl", "trace output file (- for stdout)")
+		policy     = fs.String("policy", "PROP-G", "exchange policy: PROP-G or PROP-O")
+		n          = fs.Int("n", 48, "overlay size")
+		nhops      = fs.Int("nhops", 2, "probe walk TTL")
+		m          = fs.Int("m", 0, "PROP-O exchange size (0 = minimum degree)")
+		minutes    = fs.Float64("minutes", 30, "simulated optimization time")
+		preset     = fs.String("preset", "small", "physical topology: small | large")
+		seed       = fs.Uint64("seed", 1, "deterministic seed")
+		interval   = fs.Int("interval", 0, "invariant sampling interval (0 = build default)")
+		fault      = fs.String("fault", "", "inject a fault: ghost-edge | drop-edge")
+		faultAfter = fs.Int("fault-after", 0, "inject the fault at this exchange index")
+	)
+	fs.Parse(args)
+
+	cfg := audit.SessionConfig{
+		Seed: *seed, Nodes: *n, Policy: *policy, NHops: *nhops, M: *m,
+		Minutes: *minutes, Preset: *preset, Interval: *interval,
+		Fault: *fault, FaultAfter: *faultAfter,
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	sink := audit.NewSink(w, cfg)
+	a, err := audit.RunSession(cfg, sink.Emit)
+	if err != nil {
+		fail(err)
+	}
+	if err := sink.Close(); err != nil {
+		fail(err)
+	}
+
+	fmt.Fprintf(os.Stderr, "proptrace: %s\n", a.Summary())
+	if *out != "-" {
+		fmt.Fprintf(os.Stderr, "proptrace: wrote %d records to %s\n", a.Events(), *out)
+	}
+	if vs := a.Violations(); len(vs) > 0 {
+		for _, v := range vs {
+			fmt.Fprintf(os.Stderr, "proptrace: VIOLATION %s\n", v)
+		}
+		fmt.Fprintf(os.Stderr, "proptrace: replay with `proptrace replay -shrink %s` for a minimal reproducer\n", *out)
+		os.Exit(1)
+	}
+}
+
+// runReplay re-runs a recorded session and checks reproducibility.
+func runReplay(args []string) {
+	fs := flag.NewFlagSet("proptrace replay", flag.ExitOnError)
+	shrink := fs.Bool("shrink", false, "minimize a violating session to the smallest reproducing event bound")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fail(fmt.Errorf("usage: proptrace replay [-shrink] trace.jsonl"))
+	}
+
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	hdr, recs, err := audit.ReadTrace(f)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("trace: %d records, session %+v\n", len(recs), hdr.Config)
+
+	if err := audit.Replay(hdr.Config, recs); err != nil {
+		fail(err)
+	}
+	fmt.Println("replay: event stream reproduced exactly")
+
+	a, err := audit.RunSession(hdr.Config, nil)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("audit:  %s\n", a.Summary())
+	if len(a.Violations()) == 0 {
+		if *shrink {
+			fmt.Println("shrink: session is clean, nothing to minimize")
+		}
+		return
+	}
+	if !*shrink {
+		os.Exit(1)
+	}
+	small, v, err := audit.Shrink(hdr.Config, "")
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("shrink: violation %q reproduces within the first %d engine steps\n", v.Name, small.MaxEvents)
+	fmt.Printf("shrink: minimal config %+v\n", small)
+	os.Exit(1)
+}
+
+// runLegacy is the original human-readable single-run trace mode.
+func runLegacy() {
 	var (
 		policy  = flag.String("policy", "G", "exchange policy: G (swap positions) or O (trade m neighbors)")
 		n       = flag.Int("n", 300, "overlay size")

@@ -1,0 +1,11 @@
+//go:build !auditstrict
+
+package audit
+
+// Strict reports whether the auditstrict build tag is set. Without it,
+// auditors constructed with interval <= 0 sample every DefaultInterval
+// events, keeping full-scale runs fast.
+const Strict = false
+
+// DefaultInterval is the sampling interval used when Strict is off.
+const DefaultInterval = 64

@@ -1,0 +1,14 @@
+//go:build auditstrict
+
+package audit
+
+// Strict reports whether the auditstrict build tag is set. With it, every
+// auditor constructed with interval <= 0 evaluates every registered
+// invariant on every observed event:
+//
+//	go test -tags auditstrict -short ./...
+const Strict = true
+
+// DefaultInterval is unused when Strict is on (interval resolves to 1);
+// kept so both build variants export the same surface.
+const DefaultInterval = 1

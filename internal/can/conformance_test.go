@@ -17,7 +17,10 @@ func keyPoint(key uint32) Point {
 	}
 }
 
-type dhtAdapter struct{ sp *Space }
+type dhtAdapter struct {
+	sp  *Space
+	lat overlay.LatencyFunc
+}
 
 func (a dhtAdapter) Overlay() *overlay.Overlay { return a.sp.O }
 func (a dhtAdapter) Owner(key uint32) int      { return a.sp.ZoneOf(keyPoint(key)) }
@@ -25,6 +28,11 @@ func (a dhtAdapter) Lookup(src int, key uint32, proc overlay.ProcDelayFunc) (int
 	res, err := a.sp.Route(src, keyPoint(key), proc)
 	return res.Owner, res.Hops, res.Latency, err
 }
+func (a dhtAdapter) Join(host int, r *rng.Rand) (int, error) {
+	return a.sp.Join(host, a.sp.JoinPointFor(host, a.lat, r), r)
+}
+func (a dhtAdapter) Leave(slot int) error   { return a.sp.Leave(slot) }
+func (a dhtAdapter) CheckInvariants() error { return a.sp.CheckInvariants() }
 
 func TestDHTConformance(t *testing.T) {
 	dhttest.Run(t, func(hosts []int, l overlay.LatencyFunc, r *rng.Rand) (dhttest.DHT, error) {
@@ -32,7 +40,7 @@ func TestDHTConformance(t *testing.T) {
 		if err != nil {
 			return nil, err
 		}
-		return dhtAdapter{sp}, nil
+		return dhtAdapter{sp, l}, nil
 	})
 }
 
@@ -42,6 +50,6 @@ func TestDHTConformancePIS(t *testing.T) {
 		if err != nil {
 			return nil, err
 		}
-		return dhtAdapter{sp}, nil
+		return dhtAdapter{sp, l}, nil
 	})
 }

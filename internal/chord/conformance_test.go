@@ -8,7 +8,10 @@ import (
 	"repro/internal/rng"
 )
 
-type dhtAdapter struct{ ring *Ring }
+type dhtAdapter struct {
+	ring *Ring
+	lat  overlay.LatencyFunc
+}
 
 func (a dhtAdapter) Overlay() *overlay.Overlay { return a.ring.O }
 func (a dhtAdapter) Owner(key uint32) int      { return a.ring.Owner(key) }
@@ -16,6 +19,9 @@ func (a dhtAdapter) Lookup(src int, key uint32, proc overlay.ProcDelayFunc) (int
 	res, err := a.ring.Lookup(src, key, proc)
 	return res.Owner, res.Hops, res.Latency, err
 }
+func (a dhtAdapter) Join(host int, r *rng.Rand) (int, error) { return a.ring.Join(host, a.lat, r) }
+func (a dhtAdapter) Leave(slot int) error                    { return a.ring.Leave(slot, a.lat) }
+func (a dhtAdapter) CheckInvariants() error                  { return a.ring.CheckInvariants() }
 
 func TestDHTConformance(t *testing.T) {
 	dhttest.Run(t, func(hosts []int, l overlay.LatencyFunc, r *rng.Rand) (dhttest.DHT, error) {
@@ -23,7 +29,7 @@ func TestDHTConformance(t *testing.T) {
 		if err != nil {
 			return nil, err
 		}
-		return dhtAdapter{ring}, nil
+		return dhtAdapter{ring, l}, nil
 	})
 }
 
@@ -33,6 +39,6 @@ func TestDHTConformancePNS(t *testing.T) {
 		if err != nil {
 			return nil, err
 		}
-		return dhtAdapter{ring}, nil
+		return dhtAdapter{ring, l}, nil
 	})
 }

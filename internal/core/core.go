@@ -128,6 +128,16 @@ type ExchangeEvent struct {
 	Moved int
 }
 
+// ProbeEvent records one timer firing (§3.2 probe) for tracing: the prober,
+// the partner the walk reached (-1 if the walk failed), and whether the
+// probe ended in an executed exchange.
+type ProbeEvent struct {
+	At        event.Time
+	U         int
+	Partner   int
+	Exchanged bool
+}
+
 // Protocol runs PROP over one overlay inside one event engine.
 type Protocol struct {
 	// O is the overlay being optimized.
@@ -136,6 +146,9 @@ type Protocol struct {
 	Counters metrics.Counters
 	// Trace, if non-nil, receives every executed exchange.
 	Trace func(ExchangeEvent)
+	// Probe, if non-nil, receives every probe attempt (the trace recorder's
+	// finest-grained protocol event).
+	Probe func(ProbeEvent)
 
 	cfg   Config
 	r     *rng.Rand
@@ -327,11 +340,13 @@ func (p *Protocol) probe(e *event.Engine, u int) {
 	p.reconcileQueue(st)
 
 	success := false
+	partner := -1
 	firstHopIdx := st.pickFirstHop()
 	if firstHopIdx >= 0 {
 		s := st.queue[firstHopIdx].neighbor
 		v, path, walked := p.findPartner(u, s)
 		if walked {
+			partner = v
 			success = p.attemptExchange(e, u, v, path)
 		}
 		// Update the first hop's standing (maintenance rule; during warm-up
@@ -343,6 +358,10 @@ func (p *Protocol) probe(e *event.Engine, u int) {
 		} else {
 			st.queue[firstHopIdx].prio = st.maxPrio() + 1
 		}
+	}
+
+	if p.Probe != nil {
+		p.Probe(ProbeEvent{At: e.Now(), U: u, Partner: partner, Exchanged: success})
 	}
 
 	// Timer update: fixed during warm-up; Markov-chain back-off afterwards.

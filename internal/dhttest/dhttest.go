@@ -7,9 +7,11 @@
 package dhttest
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
+	"repro/internal/audit"
 	"repro/internal/overlay"
 	"repro/internal/rng"
 )
@@ -27,6 +29,25 @@ type DHT interface {
 	Lookup(src int, key uint32, proc overlay.ProcDelayFunc) (owner, hops int, latency float64, err error)
 }
 
+// Churner is the churn face of a DHT adapter: dynamic membership with the
+// substrate's own repair scheme. Every substrate implements it, so the
+// churn-phase conformance check runs from this one harness instead of
+// per-package copies.
+type Churner interface {
+	// Join adds a node on host and returns its slot.
+	Join(host int, r *rng.Rand) (int, error)
+	// Leave removes the live slot.
+	Leave(slot int) error
+}
+
+// InvariantChecker is implemented by adapters whose substrate exposes a
+// structural self-check (Chord ring order, CAN tiling, Pastry/Kademlia
+// table well-formedness). The churn phase evaluates it through the online
+// auditor after every membership change.
+type InvariantChecker interface {
+	CheckInvariants() error
+}
+
 // Builder constructs a DHT instance over the given hosts for one test.
 type Builder func(hosts []int, lat overlay.LatencyFunc, r *rng.Rand) (DHT, error)
 
@@ -41,6 +62,7 @@ func Run(t *testing.T, build Builder) {
 	t.Run("ProcDelayAccounting", func(t *testing.T) { runProc(t, build) })
 	t.Run("SwapInvariance", func(t *testing.T) { runSwap(t, build) })
 	t.Run("LatencyNonNegative", func(t *testing.T) { runNonNegative(t, build) })
+	t.Run("ChurnPhase", func(t *testing.T) { runChurn(t, build) })
 }
 
 func mustBuild(t *testing.T, build Builder, n int, seed uint64) DHT {
@@ -151,6 +173,66 @@ func runSwap(t *testing.T, build Builder) {
 		if owner != owners[i] {
 			t.Fatalf("lookup diverged from owner after swaps")
 		}
+	}
+}
+
+// runChurn is the churn-phase conformance check: nodes join and leave
+// mid-run, and after every membership change the substrate must still be
+// well-formed, connected, a slot↔host bijection, and resolve lookups at
+// the true owner within a generous hop bound. All evaluation is routed
+// through the online auditor so churn tests and audited experiment runs
+// exercise the identical predicates.
+func runChurn(t *testing.T, build Builder) {
+	d := mustBuild(t, build, 64, 11)
+	c, ok := d.(Churner)
+	if !ok {
+		t.Fatalf("adapter %T does not implement dhttest.Churner; churn conformance is mandatory", d)
+	}
+	o := d.Overlay()
+	a := audit.New(1, 64)
+	a.Register(audit.OverlayBijection(o), audit.OverlayConnected(o))
+	if ic, ok := d.(InvariantChecker); ok {
+		a.Register(audit.Check("dht-wellformed", ic.CheckInvariants))
+	}
+
+	r := rng.New(12)
+	nextHost := 1_000_000 // far above the i*7 hosts mustBuild assigns
+	for op := 0; op < 40; op++ {
+		if r.Bool(0.5) && o.NumAlive() > 8 {
+			alive := o.AliveSlots()
+			victim := alive[r.Intn(len(alive))]
+			if err := c.Leave(victim); err != nil {
+				t.Fatalf("op %d: leave(%d): %v", op, victim, err)
+			}
+			a.Observe(audit.Record{Kind: audit.KindLeave, A: victim})
+		} else {
+			slot, err := c.Join(nextHost, r)
+			if err != nil {
+				t.Fatalf("op %d: join(host %d): %v", op, nextHost, err)
+			}
+			a.Observe(audit.Record{Kind: audit.KindJoin, A: slot, B: nextHost})
+			nextHost++
+		}
+		// Re-verify ownership and lookup termination from a random survivor.
+		alive := o.AliveSlots()
+		src := alive[r.Intn(len(alive))]
+		key := uint32(r.Uint64())
+		want := d.Owner(key)
+		owner, hops, _, err := d.Lookup(src, key, nil)
+		if err != nil {
+			a.Fail("churn-lookup", err)
+		} else if owner != want {
+			a.Fail("churn-lookup", fmt.Errorf("lookup(%d, %#x) reached %d, owner is %d", src, key, owner, want))
+		} else if bound := o.NumAlive() + 64; hops > bound {
+			a.Fail("churn-lookup", fmt.Errorf("lookup(%d, %#x) took %d hops, bound %d", src, key, hops, bound))
+		}
+		a.Observe(audit.Record{Kind: audit.KindLookup, A: src, B: owner, Aux: []int{hops, want}})
+	}
+	if err := a.Err(); err != nil {
+		t.Fatalf("churn phase failed (%s): %v", a.Summary(), err)
+	}
+	if a.Events() == 0 || a.Checks() == 0 {
+		t.Fatalf("churn phase audited nothing: %s", a.Summary())
 	}
 }
 

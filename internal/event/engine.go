@@ -22,6 +22,14 @@ type Handler func(e *Engine)
 
 // Engine is a discrete-event simulator. The zero value is ready to use.
 type Engine struct {
+	// Observer, if non-nil, is invoked immediately before every executed
+	// event with the event's due time and scheduling sequence number. It is
+	// the hook the online auditor (internal/audit) uses to verify the
+	// engine's own invariants — a monotonically non-decreasing clock and
+	// FIFO ordering among equal-time events — without the engine depending
+	// on the auditor. Chain, don't replace, an existing observer.
+	Observer func(at Time, seq uint64)
+
 	now   Time
 	queue eventHeap
 	seq   uint64 // tie-breaker: FIFO among equal-time events
@@ -69,6 +77,9 @@ func (e *Engine) Step() bool {
 		ev := heap.Pop(&e.queue).(*item)
 		if ev.cancelled {
 			continue
+		}
+		if e.Observer != nil {
+			e.Observer(ev.at, ev.seq)
 		}
 		e.now = ev.at
 		e.steps++

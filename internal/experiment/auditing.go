@@ -1,0 +1,104 @@
+package experiment
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/overlay"
+)
+
+// newRunAuditor attaches the online invariant auditor to one simulated run:
+// overlay bijection/connectivity and PROP-G topology freezing are registered,
+// the engine's clock/FIFO invariants are hooked, and the protocol's probe and
+// exchange hooks feed the auditor's sampled event stream (every event under
+// -tags auditstrict). Existing Trace/Probe hooks are chained, not replaced.
+func newRunAuditor(o *overlay.Overlay, p *core.Protocol, eng *event.Engine, extra ...audit.Invariant) *audit.Auditor {
+	a := audit.New(audit.DefaultInterval, 0)
+	a.Register(
+		audit.OverlayBijection(o),
+		audit.OverlayConnected(o),
+		audit.TopologyFrozen(o),
+	)
+	a.Register(extra...)
+	a.AttachEngine(eng)
+
+	prevTrace := p.Trace
+	p.Trace = func(ev core.ExchangeEvent) {
+		if prevTrace != nil {
+			prevTrace(ev)
+		}
+		a.Observe(audit.Record{
+			At: float64(ev.At), Kind: audit.KindExchange,
+			A: ev.U, B: ev.V, Aux: []int{ev.Moved}, Val: ev.Var,
+		})
+	}
+	prevProbe := p.Probe
+	p.Probe = func(ev core.ProbeEvent) {
+		if prevProbe != nil {
+			prevProbe(ev)
+		}
+		v := 0.0
+		if ev.Exchanged {
+			v = 1
+		}
+		a.Observe(audit.Record{
+			At: float64(ev.At), Kind: audit.KindProbe,
+			A: ev.U, B: ev.Partner, Val: v,
+		})
+	}
+	return a
+}
+
+// finishAudit runs the final full invariant check and renders the per-run
+// summary line; an audit violation fails the run.
+func finishAudit(a *audit.Auditor, label string) (string, error) {
+	if a == nil {
+		return "", nil
+	}
+	a.CheckNow()
+	if err := a.Err(); err != nil {
+		return "", fmt.Errorf("audit %s: %w", label, err)
+	}
+	return fmt.Sprintf("%s: %s", label, a.Summary()), nil
+}
+
+// auditLog collects per-trial audit summaries from parallel trials and
+// renders them as Result notes in trial order.
+type auditLog struct {
+	mu    sync.Mutex
+	lines map[int][]string
+}
+
+func newAuditLog(enabled bool) *auditLog {
+	if !enabled {
+		return nil
+	}
+	return &auditLog{lines: map[int][]string{}}
+}
+
+func (l *auditLog) add(trial int, line string) {
+	if l == nil || line == "" {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.lines[trial] = append(l.lines[trial], line)
+}
+
+func (l *auditLog) notes(trials int) []string {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []string
+	for t := 0; t < trials; t++ {
+		for _, line := range l.lines[t] {
+			out = append(out, fmt.Sprintf("audit trial %d: %s", t, line))
+		}
+	}
+	return out
+}

@@ -29,6 +29,13 @@ type Options struct {
 	// Scale in (0,1] shrinks node counts and workload sizes for quick runs
 	// (benchmarks, -short tests). 1.0 reproduces the paper's scale.
 	Scale float64
+	// Audit attaches the online invariant auditor (internal/audit) to every
+	// simulated run of the experiments that support it (fig5*, fig6*):
+	// overlay bijection/connectivity, PROP-G topology freezing, and DHT
+	// well-formedness are checked on the sampled protocol event stream
+	// (every event under -tags auditstrict). One summary line per trial is
+	// appended to Result.Notes; any violation fails the run.
+	Audit bool
 }
 
 func (o Options) withDefaults() Options {

@@ -3,6 +3,7 @@ package experiment
 import (
 	"fmt"
 
+	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/event"
 	"repro/internal/metrics"
@@ -36,8 +37,10 @@ type gnutellaVariant struct {
 }
 
 // runGnutellaSeries produces the lookup-latency-vs-time curve of each
-// variant, averaged over opt.Trials.
-func runGnutellaSeries(opt Options, variants []gnutellaVariant) ([]stats.Series, error) {
+// variant, averaged over opt.Trials. When opt.Audit is set it also returns
+// one audit-summary note per trial.
+func runGnutellaSeries(opt Options, variants []gnutellaVariant) ([]stats.Series, []string, error) {
+	alog := newAuditLog(opt.Audit)
 	perTrial, err := forEachTrial(opt.Trials, func(trial int) ([]stats.Series, error) {
 		out := make([]stats.Series, len(variants))
 		for vi, v := range variants {
@@ -45,38 +48,40 @@ func runGnutellaSeries(opt Options, variants []gnutellaVariant) ([]stats.Series,
 			// panels that differ only in protocol parameters then start
 			// from the identical world and overlay, as in the paper's
 			// figures, while the protocol itself gets a per-variant stream.
-			s, err := oneGnutellaRun(opt, v,
+			s, summary, err := oneGnutellaRun(opt, v,
 				trialSeed(opt.Seed, trial), trialSeed(opt.Seed, 1000+trial*100+vi))
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", v.label, err)
 			}
+			alog.add(trial, summary)
 			out[vi] = s
 		}
 		return out, nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return mergeTrials(perTrial), nil
+	return mergeTrials(perTrial), alog.notes(opt.Trials), nil
 }
 
 // oneGnutellaRun simulates one variant and samples the average lookup
 // latency over time. envSeed determines the physical world, overlay, and
-// workload; runSeed drives only the protocol's randomness.
-func oneGnutellaRun(opt Options, v gnutellaVariant, envSeed, runSeed uint64) (stats.Series, error) {
+// workload; runSeed drives only the protocol's randomness. The returned
+// string is the audit summary ("" unless opt.Audit).
+func oneGnutellaRun(opt Options, v gnutellaVariant, envSeed, runSeed uint64) (stats.Series, string, error) {
 	e, err := newEnv(v.preset, envSeed)
 	if err != nil {
-		return stats.Series{}, err
+		return stats.Series{}, "", err
 	}
 	n := scaled(v.n, opt.Scale, 50)
 	o, err := e.buildGnutella(n)
 	if err != nil {
-		return stats.Series{}, err
+		return stats.Series{}, "", err
 	}
 	nLookups := scaled(paperLookups, opt.Scale, 100)
 	lookups, err := workload.Uniform(o.AliveSlots(), nLookups, e.r.Split())
 	if err != nil {
-		return stats.Series{}, err
+		return stats.Series{}, "", err
 	}
 
 	cfg := core.DefaultConfig(core.PROPG)
@@ -87,9 +92,13 @@ func oneGnutellaRun(opt Options, v gnutellaVariant, envSeed, runSeed uint64) (st
 	}
 	p, err := core.New(o, cfg, rng.New(runSeed))
 	if err != nil {
-		return stats.Series{}, err
+		return stats.Series{}, "", err
 	}
 	eng := event.New()
+	var a *audit.Auditor
+	if opt.Audit {
+		a = newRunAuditor(o, p, eng)
+	}
 	p.Start(eng)
 
 	series := stats.Series{Label: v.label}
@@ -98,7 +107,11 @@ func oneGnutellaRun(opt Options, v gnutellaVariant, envSeed, runSeed uint64) (st
 		mean, _ := metrics.MeanLookupLatency(lookups, metrics.FloodEval(o, nil))
 		series.Add(t/60000, mean)
 	}
-	return series, nil
+	summary, err := finishAudit(a, v.label)
+	if err != nil {
+		return stats.Series{}, "", err
+	}
+	return series, summary, nil
 }
 
 func runFig5a(opt Options) (*Result, error) {
@@ -109,7 +122,7 @@ func runFig5a(opt Options) (*Result, error) {
 		{label: "n=1000, nhops=4", n: n, nhops: 4, preset: netsim.TSLarge()},
 		{label: "n=1000, random", n: n, random: true, preset: netsim.TSLarge()},
 	}
-	series, err := runGnutellaSeries(opt, variants)
+	series, auditNotes, err := runGnutellaSeries(opt, variants)
 	if err != nil {
 		return nil, err
 	}
@@ -119,10 +132,10 @@ func runFig5a(opt Options) (*Result, error) {
 		XLabel: "time (min)",
 		YLabel: "average lookup latency (ms)",
 		Series: series,
-		Notes: []string{
+		Notes: append([]string{
 			"expected shape: nhops=1 improves least; nhops∈{2,4} and random nearly coincide",
 			fmt.Sprintf("scale=%.2f seed=%d trials=%d", opt.Scale, opt.Seed, opt.Trials),
-		},
+		}, auditNotes...),
 	}, nil
 }
 
@@ -139,7 +152,7 @@ func runFig5b(opt Options) (*Result, error) {
 			preset: netsim.TSLarge(),
 		}
 	}
-	series, err := runGnutellaSeries(opt, variants)
+	series, auditNotes, err := runGnutellaSeries(opt, variants)
 	if err != nil {
 		return nil, err
 	}
@@ -149,10 +162,10 @@ func runFig5b(opt Options) (*Result, error) {
 		XLabel: "time (min)",
 		YLabel: "average lookup latency (ms)",
 		Series: series,
-		Notes: []string{
+		Notes: append([]string{
 			"expected shape: relative improvement shrinks slightly as n grows",
 			fmt.Sprintf("scale=%.2f seed=%d trials=%d", opt.Scale, opt.Seed, opt.Trials),
-		},
+		}, auditNotes...),
 	}, nil
 }
 
@@ -161,7 +174,7 @@ func runFig5c(opt Options) (*Result, error) {
 		{label: "ts-large", n: 1000, nhops: 2, preset: netsim.TSLarge()},
 		{label: "ts-small", n: 1000, nhops: 2, preset: netsim.TSSmall()},
 	}
-	series, err := runGnutellaSeries(opt, variants)
+	series, auditNotes, err := runGnutellaSeries(opt, variants)
 	if err != nil {
 		return nil, err
 	}
@@ -171,9 +184,9 @@ func runFig5c(opt Options) (*Result, error) {
 		XLabel: "time (min)",
 		YLabel: "average lookup latency (ms)",
 		Series: series,
-		Notes: []string{
+		Notes: append([]string{
 			"expected shape: ts-large (Internet-like backbone) improves more than ts-small",
 			fmt.Sprintf("scale=%.2f seed=%d trials=%d", opt.Scale, opt.Seed, opt.Trials),
-		},
+		}, auditNotes...),
 	}, nil
 }

@@ -3,6 +3,7 @@ package experiment
 import (
 	"fmt"
 
+	"repro/internal/audit"
 	"repro/internal/chord"
 	"repro/internal/core"
 	"repro/internal/event"
@@ -61,40 +62,43 @@ type chordVariant struct {
 }
 
 // runChordSeries produces the stretch-vs-time curve of each variant,
-// averaged over opt.Trials.
-func runChordSeries(opt Options, variants []chordVariant) ([]stats.Series, error) {
+// averaged over opt.Trials. When opt.Audit is set it also returns one
+// audit-summary note per trial.
+func runChordSeries(opt Options, variants []chordVariant) ([]stats.Series, []string, error) {
+	alog := newAuditLog(opt.Audit)
 	perTrial, err := forEachTrial(opt.Trials, func(trial int) ([]stats.Series, error) {
 		out := make([]stats.Series, len(variants))
 		for vi, v := range variants {
 			// Shared environment seed per trial: identically parameterized
 			// variants start from the identical ring (see fig5.go).
-			s, err := oneChordRun(opt, v,
+			s, summary, err := oneChordRun(opt, v,
 				trialSeed(opt.Seed, trial), trialSeed(opt.Seed, 1000+trial*100+vi))
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", v.label, err)
 			}
+			alog.add(trial, summary)
 			out[vi] = s
 		}
 		return out, nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return mergeTrials(perTrial), nil
+	return mergeTrials(perTrial), alog.notes(opt.Trials), nil
 }
 
 // oneChordRun simulates PROP-G over a Chord ring and samples routing
 // stretch. envSeed fixes the world, ring, and workload; runSeed drives the
-// protocol.
-func oneChordRun(opt Options, v chordVariant, envSeed, runSeed uint64) (stats.Series, error) {
+// protocol. The returned string is the audit summary ("" unless opt.Audit).
+func oneChordRun(opt Options, v chordVariant, envSeed, runSeed uint64) (stats.Series, string, error) {
 	e, err := newEnv(v.preset, envSeed)
 	if err != nil {
-		return stats.Series{}, err
+		return stats.Series{}, "", err
 	}
 	n := scaled(v.n, opt.Scale, 50)
 	ring, err := e.buildChord(n, false)
 	if err != nil {
-		return stats.Series{}, err
+		return stats.Series{}, "", err
 	}
 
 	cfg := core.DefaultConfig(core.PROPG)
@@ -105,9 +109,14 @@ func oneChordRun(opt Options, v chordVariant, envSeed, runSeed uint64) (stats.Se
 	}
 	p, err := core.New(ring.O, cfg, rng.New(runSeed))
 	if err != nil {
-		return stats.Series{}, err
+		return stats.Series{}, "", err
 	}
 	eng := event.New()
+	var a *audit.Auditor
+	if opt.Audit {
+		a = newRunAuditor(ring.O, p, eng,
+			audit.Check("chord-wellformed", ring.CheckInvariants))
+	}
 	p.Start(eng)
 
 	lookups := makeChordWorkload(ring, scaled(paperLookups, opt.Scale, 100), e.r.Split())
@@ -116,7 +125,11 @@ func oneChordRun(opt Options, v chordVariant, envSeed, runSeed uint64) (stats.Se
 		eng.RunUntil(event.Time(t))
 		series.Add(t/60000, routingStretch(ring, e, lookups))
 	}
-	return series, nil
+	summary, err := finishAudit(a, v.label)
+	if err != nil {
+		return stats.Series{}, "", err
+	}
+	return series, summary, nil
 }
 
 func runFig6a(opt Options) (*Result, error) {
@@ -127,7 +140,7 @@ func runFig6a(opt Options) (*Result, error) {
 		{label: "n=1000, nhops=4", n: n, nhops: 4, preset: netsim.TSLarge()},
 		{label: "n=1000, random", n: n, random: true, preset: netsim.TSLarge()},
 	}
-	series, err := runChordSeries(opt, variants)
+	series, auditNotes, err := runChordSeries(opt, variants)
 	if err != nil {
 		return nil, err
 	}
@@ -137,10 +150,10 @@ func runFig6a(opt Options) (*Result, error) {
 		XLabel: "time (min)",
 		YLabel: "stretch",
 		Series: series,
-		Notes: []string{
+		Notes: append([]string{
 			"expected shape: nhops=1 reduces stretch least; nhops∈{2,4} ≈ random",
 			fmt.Sprintf("scale=%.2f seed=%d trials=%d", opt.Scale, opt.Seed, opt.Trials),
-		},
+		}, auditNotes...),
 	}, nil
 }
 
@@ -155,7 +168,7 @@ func runFig6b(opt Options) (*Result, error) {
 			preset: netsim.TSLarge(),
 		}
 	}
-	series, err := runChordSeries(opt, variants)
+	series, auditNotes, err := runChordSeries(opt, variants)
 	if err != nil {
 		return nil, err
 	}
@@ -165,10 +178,10 @@ func runFig6b(opt Options) (*Result, error) {
 		XLabel: "time (min)",
 		YLabel: "stretch",
 		Series: series,
-		Notes: []string{
+		Notes: append([]string{
 			"expected shape: larger systems improve relatively less",
 			fmt.Sprintf("scale=%.2f seed=%d trials=%d", opt.Scale, opt.Seed, opt.Trials),
-		},
+		}, auditNotes...),
 	}, nil
 }
 
@@ -177,7 +190,7 @@ func runFig6c(opt Options) (*Result, error) {
 		{label: "ts-large", n: 1000, nhops: 2, preset: netsim.TSLarge()},
 		{label: "ts-small", n: 1000, nhops: 2, preset: netsim.TSSmall()},
 	}
-	series, err := runChordSeries(opt, variants)
+	series, auditNotes, err := runChordSeries(opt, variants)
 	if err != nil {
 		return nil, err
 	}
@@ -187,9 +200,9 @@ func runFig6c(opt Options) (*Result, error) {
 		XLabel: "time (min)",
 		YLabel: "stretch",
 		Series: series,
-		Notes: []string{
+		Notes: append([]string{
 			"expected shape: ts-large improves more than ts-small",
 			fmt.Sprintf("scale=%.2f seed=%d trials=%d", opt.Scale, opt.Seed, opt.Trials),
-		},
+		}, auditNotes...),
 	}, nil
 }

@@ -1,0 +1,63 @@
+package kademlia
+
+import (
+	"fmt"
+
+	"repro/internal/overlay"
+	"repro/internal/rng"
+)
+
+// Dynamic membership. Kademlia buckets self-heal through ordinary lookup
+// traffic; the simulator's equivalent of the converged post-churn state is
+// a bucket refill from global knowledge restricted to the live membership
+// (the same source Build uses).
+
+// Join adds a node on host with a fresh uniformly random unique identifier
+// and returns its slot.
+func (net *Net) Join(host int, lat overlay.LatencyFunc, r *rng.Rand) (int, error) {
+	inUse := make(map[uint32]bool, net.O.NumAlive())
+	for _, s := range net.O.AliveSlots() {
+		inUse[net.ID[s]] = true
+	}
+	var id uint32
+	for {
+		id = uint32(r.Uint64())
+		if !inUse[id] {
+			break
+		}
+	}
+	slot, err := net.O.AddSlot(host)
+	if err != nil {
+		return -1, err
+	}
+	for len(net.ID) <= slot {
+		net.ID = append(net.ID, 0)
+		net.buckets = append(net.buckets, nil)
+	}
+	net.ID[slot] = id
+	net.Refresh(lat)
+	return slot, nil
+}
+
+// Leave removes slot from the network. The network must retain at least two
+// nodes.
+func (net *Net) Leave(slot int, lat overlay.LatencyFunc) error {
+	if !net.O.Alive(slot) {
+		return fmt.Errorf("kademlia: Leave(%d) on dead slot", slot)
+	}
+	if net.O.NumAlive() <= 2 {
+		return fmt.Errorf("kademlia: refusing to shrink below 2 nodes")
+	}
+	if err := net.O.RemoveSlot(slot); err != nil {
+		return err
+	}
+	net.buckets[slot] = nil
+	net.Refresh(lat)
+	return nil
+}
+
+// Alive reports whether the slot is a live network member.
+func (net *Net) Alive(slot int) bool { return net.O.Alive(slot) }
+
+// Size returns the current network membership count.
+func (net *Net) Size() int { return net.O.NumAlive() }

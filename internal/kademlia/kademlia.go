@@ -96,14 +96,15 @@ func bucketIndex(a, b uint32) int {
 }
 
 // fillBuckets populates every node's buckets from global knowledge (the
-// converged state Kademlia's iterative lookups maintain in practice).
+// converged state Kademlia's iterative lookups maintain in practice). Only
+// live slots participate — dead slots keep no buckets and appear in none.
 func (net *Net) fillBuckets(lat overlay.LatencyFunc) {
-	n := len(net.ID)
-	for s := 0; s < n; s++ {
+	alive := net.O.AliveSlots()
+	for _, s := range alive {
 		rows := make([][]int, Bits)
 		// Gather candidates per bucket.
 		byBucket := make([][]int, Bits)
-		for t := 0; t < n; t++ {
+		for _, t := range alive {
 			if t == s {
 				continue
 			}
@@ -145,7 +146,7 @@ func (net *Net) fillBuckets(lat overlay.LatencyFunc) {
 
 // mirror reflects bucket contacts into the overlay's logical graph.
 func (net *Net) mirror() {
-	for s := range net.ID {
+	for _, s := range net.O.AliveSlots() {
 		for _, bucket := range net.buckets[s] {
 			for _, t := range bucket {
 				if t != s {

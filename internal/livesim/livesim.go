@@ -21,6 +21,7 @@ package livesim
 import (
 	"fmt"
 
+	"repro/internal/audit"
 	"repro/internal/chord"
 	"repro/internal/core"
 	"repro/internal/event"
@@ -48,6 +49,12 @@ type Outcome struct {
 type Sim struct {
 	Ring *chord.Ring
 	Prop *core.Protocol
+
+	// Audit, if non-nil, observes every completed lookup as a KindLookup
+	// record (A = issue slot, B = terminal slot, Aux = [hops, redirects,
+	// reresolves], Val = latency) and records an incorrect termination as an
+	// audit violation.
+	Audit *audit.Auditor
 
 	// Outcomes collects every finished lookup.
 	Outcomes []Outcome
@@ -92,12 +99,13 @@ func New(ring *chord.Ring, prop *core.Protocol) (*Sim, error) {
 // when it terminates.
 func (s *Sim) IssueLookup(e *event.Engine, at event.Time, src int, key uint32) {
 	e.At(at, func(en *event.Engine) {
-		s.hop(en, lookupState{key: key, slot: src, issued: en.Now()})
+		s.hop(en, lookupState{key: key, src: src, slot: src, issued: en.Now()})
 	})
 }
 
 type lookupState struct {
 	key        uint32
+	src        int // slot the lookup was issued from
 	slot       int // slot whose role is currently processing the lookup
 	hops       int
 	redirects  int
@@ -182,14 +190,28 @@ func latencyBetweenHosts(s *Sim, a, b int) float64 {
 }
 
 func (s *Sim) finish(e *event.Engine, st lookupState, correct bool) {
-	s.Outcomes = append(s.Outcomes, Outcome{
+	out := Outcome{
 		Key:        st.key,
 		Correct:    correct && s.Ring.IsOwner(st.slot, st.key),
 		Hops:       st.hops,
 		Redirects:  st.redirects,
 		Reresolves: st.reresolves,
 		Latency:    float64(e.Now() - st.issued),
-	})
+	}
+	s.Outcomes = append(s.Outcomes, out)
+	if s.Audit != nil {
+		s.Audit.Observe(audit.Record{
+			At: float64(e.Now()), Kind: audit.KindLookup,
+			A: st.src, B: st.slot,
+			Aux: []int{st.hops, st.redirects, st.reresolves},
+			Val: out.Latency,
+		})
+		if !out.Correct {
+			s.Audit.Fail("livesim-lookup-correct", fmt.Errorf(
+				"lookup for key %d from slot %d terminated at slot %d (owner %d) after %d hops",
+				st.key, st.src, st.slot, s.Ring.Owner(st.key), st.hops))
+		}
+	}
 }
 
 // Summary aggregates outcomes.

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/audit"
 	"repro/internal/chord"
 	"repro/internal/core"
 	"repro/internal/event"
@@ -138,6 +139,47 @@ func TestTraceChainPreserved(t *testing.T) {
 	e.RunUntil(5000)
 	if uint64(seen) != p.Counters.Exchanges {
 		t.Fatalf("prior trace hook saw %d of %d exchanges", seen, p.Counters.Exchanges)
+	}
+}
+
+func TestAuditObservesLookups(t *testing.T) {
+	// With an auditor attached, every completed lookup becomes a KindLookup
+	// record and a correct run stays violation-free under the full overlay
+	// invariant set (bijection, connectivity, frozen topology).
+	ring, p := buildWorld(t, 64, 23, 10)
+	sim, err := New(ring, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := audit.New(1, 64)
+	a.Register(
+		audit.OverlayBijection(ring.O),
+		audit.OverlayConnected(ring.O),
+		audit.TopologyFrozen(ring.O),
+		audit.Check("chord-wellformed", ring.CheckInvariants),
+	)
+	sim.Audit = a
+	e := event.New()
+	a.AttachEngine(e)
+	p.Start(e)
+	r := rng.New(29)
+	const lookups = 100
+	for i := 0; i < lookups; i++ {
+		sim.IssueLookup(e, event.Time(float64(i)*5), r.Intn(64), chord.RandomKey(r))
+	}
+	e.RunUntil(30000)
+	a.CheckNow()
+	if err := a.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Events() != lookups {
+		t.Fatalf("auditor saw %d lookup records, want %d", a.Events(), lookups)
+	}
+	// A deliberately wrong outcome must be flagged.
+	notOwner := (ring.Owner(1) + 1) % 64
+	sim.finish(e, lookupState{key: 1, src: 0, slot: notOwner}, false)
+	if err := a.Err(); err == nil {
+		t.Fatal("incorrect lookup outcome not flagged by the auditor")
 	}
 }
 

@@ -60,12 +60,23 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// RewireEvent records one executed LTM link modification for tracing: a
+// redundant-link cut or a shortcut add.
+type RewireEvent struct {
+	At    event.Time
+	U, W  int
+	Added bool // true for a shortcut add, false for a cut
+}
+
 // Protocol runs LTM over one overlay inside one event engine.
 type Protocol struct {
 	// O is the overlay being optimized.
 	O *overlay.Overlay
 	// Counters tallies detector message overhead.
 	Counters metrics.Counters
+	// Trace, if non-nil, receives every executed link cut and add — the
+	// KindRewire stream of the audit trace recorder.
+	Trace func(RewireEvent)
 
 	cfg Config
 	r   *rng.Rand
@@ -129,7 +140,7 @@ func (p *Protocol) round(e *event.Engine, u int) {
 		}
 	}
 
-	cut := p.cutRedundant(u, nbrs, triBound)
+	cut := p.cutRedundant(e.Now(), u, nbrs, triBound)
 	// Replace what was cut with the closest two-hop peers. The cutter stays
 	// at roughly constant degree, but the far endpoints of the cut links —
 	// disproportionately the hubs, whose many long-range links are exactly
@@ -142,7 +153,7 @@ func (p *Protocol) round(e *event.Engine, u int) {
 	if adds > p.cfg.MaxAddsPerRound {
 		adds = p.cfg.MaxAddsPerRound
 	}
-	p.addShortcuts(u, triBound, adds, cut == 0)
+	p.addShortcuts(e.Now(), u, triBound, adds, cut == 0)
 
 	// Reschedule.
 	e.After(event.Time(p.cfg.PeriodMS), func(en *event.Engine) { p.round(en, u) })
@@ -151,7 +162,7 @@ func (p *Protocol) round(e *event.Engine, u int) {
 // cutRedundant removes up to MaxCutsPerRound direct links that are the
 // longest edge of some overlay triangle, worst (largest direct delay)
 // first, never dropping either endpoint below MinDegree.
-func (p *Protocol) cutRedundant(u int, nbrs []int, triBound map[int]float64) int {
+func (p *Protocol) cutRedundant(at event.Time, u int, nbrs []int, triBound map[int]float64) int {
 	type cand struct {
 		w      int
 		direct float64
@@ -181,6 +192,9 @@ func (p *Protocol) cutRedundant(u int, nbrs []int, triBound map[int]float64) int
 			p.Counters.NotifyMessages++ // teardown notification
 			p.Counters.Exchanges++      // one topology modification
 			done++
+			if p.Trace != nil {
+				p.Trace(RewireEvent{At: at, U: u, W: c.w})
+			}
 		}
 	}
 	return done
@@ -190,7 +204,7 @@ func (p *Protocol) cutRedundant(u int, nbrs []int, triBound map[int]float64) int
 // count. When bootstrap is set (no cut happened this round) the single add
 // must be closer than u's worst current link, so the overlay cannot densify
 // without bound before any triangles exist.
-func (p *Protocol) addShortcuts(u int, triBound map[int]float64, count int, bootstrap bool) {
+func (p *Protocol) addShortcuts(at event.Time, u int, triBound map[int]float64, count int, bootstrap bool) {
 	if count <= 0 {
 		return
 	}
@@ -233,6 +247,9 @@ func (p *Protocol) addShortcuts(u int, triBound map[int]float64, count int, boot
 		if err := p.O.AddEdge(u, a.w); err == nil {
 			p.Counters.NotifyMessages++ // connection setup
 			p.Counters.Exchanges++
+			if p.Trace != nil {
+				p.Trace(RewireEvent{At: at, U: u, W: a.w, Added: true})
+			}
 		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/audit"
 	"repro/internal/event"
 	"repro/internal/gnutella"
 	"repro/internal/overlay"
@@ -167,5 +168,53 @@ func TestLTMSkipsDeadPeers(t *testing.T) {
 	e.RunUntil(60 * 1000)
 	if !o.Connected() {
 		t.Fatal("overlay disconnected")
+	}
+}
+
+func TestTraceObservesEveryRewire(t *testing.T) {
+	// The Trace hook must see exactly one RewireEvent per executed topology
+	// modification, and the KindRewire stream routed through the auditor must
+	// keep the overlay invariants LTM is allowed to touch: bijection and
+	// connectivity hold, while degrees are free to drift (that freedom is
+	// LTM's defining contrast with PROP-O).
+	o, r := scrambled(t, 60, 21)
+	p, err := New(o, DefaultConfig(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := audit.New(1, 64)
+	a.Register(audit.OverlayBijection(o), audit.OverlayConnected(o))
+	cuts, adds := 0, 0
+	p.Trace = func(ev RewireEvent) {
+		if ev.Added {
+			adds++
+		} else {
+			cuts++
+		}
+		val := 0.0
+		if ev.Added {
+			val = 1
+		}
+		a.Observe(audit.Record{
+			At: float64(ev.At), Kind: audit.KindRewire, A: ev.U, B: ev.W, Val: val,
+		})
+	}
+	e := event.New()
+	a.AttachEngine(e)
+	p.Start(e)
+	e.RunUntil(10 * 60000)
+	if uint64(cuts+adds) != p.Counters.Exchanges {
+		t.Fatalf("trace saw %d cuts + %d adds, counters say %d modifications",
+			cuts, adds, p.Counters.Exchanges)
+	}
+	if cuts == 0 || adds == 0 {
+		t.Fatalf("test vacuous: cuts=%d adds=%d", cuts, adds)
+	}
+	a.CheckNow()
+	if err := a.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Events() != uint64(cuts+adds) {
+		t.Fatalf("auditor recorded %d events, want %d", a.Events(), cuts+adds)
 	}
 }

@@ -304,6 +304,33 @@ func TestOraclePrecompute(t *testing.T) {
 	}
 }
 
+func TestOraclePrecomputeValidatesBeforeWork(t *testing.T) {
+	net, err := Generate(TSSmall(), rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := NewOracle(net)
+	// A mix of valid sources and one invalid source must panic without
+	// warming ANY row: validation happens before anything is enqueued.
+	mixed := []int{net.StubHosts[0], net.StubHosts[1], -1, net.StubHosts[2]}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("invalid source did not panic")
+			}
+		}()
+		o.Precompute(mixed)
+	}()
+	if got := o.CachedRows(); got != 0 {
+		t.Fatalf("CachedRows = %d after rejected precompute, want 0 (no partial work)", got)
+	}
+	// The same call without the bad source succeeds fully.
+	o.Precompute([]int{net.StubHosts[0], net.StubHosts[1], net.StubHosts[2]})
+	if got := o.CachedRows(); got != 3 {
+		t.Fatalf("CachedRows = %d, want 3", got)
+	}
+}
+
 func TestOracleRowSharedWithLatency(t *testing.T) {
 	net, err := Generate(TSSmall(), rng.New(4))
 	if err != nil {

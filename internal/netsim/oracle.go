@@ -81,7 +81,15 @@ func (o *Oracle) Row(src int) []float64 {
 // Precompute warms the cache for the given sources using up to
 // runtime.GOMAXPROCS(0) worker goroutines. Experiments call this with the
 // overlay's attachment hosts so the measurement phase is contention-free.
+// All sources are validated before any work is enqueued: a bad source in
+// the middle of the list panics without computing (or leaking) anything, so
+// the cache is untouched rather than half-warmed.
 func (o *Oracle) Precompute(sources []int) {
+	for _, s := range sources {
+		if s < 0 || s >= len(o.rows) {
+			panic(fmt.Sprintf("netsim: precompute source %d out of range [0,%d)", s, len(o.rows)))
+		}
+	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(sources) {
 		workers = len(sources)
@@ -91,9 +99,6 @@ func (o *Oracle) Precompute(sources []int) {
 	}
 	ch := make(chan int, len(sources))
 	for _, s := range sources {
-		if s < 0 || s >= len(o.rows) {
-			panic(fmt.Sprintf("netsim: precompute source %d out of range [0,%d)", s, len(o.rows)))
-		}
 		ch <- s
 	}
 	close(ch)

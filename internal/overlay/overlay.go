@@ -290,24 +290,26 @@ func (o *Overlay) SwapGainMeasured(u, v int, measure LatencyFunc) float64 {
 	}
 	hu, hv := o.hostOf[u], o.hostOf[v]
 	before, after := 0.0, 0.0
-	o.Logical.VisitNeighbors(u, func(i int, _ float64) bool {
+	// Neighbors() iterates in sorted order — map order must not leak into
+	// the measurement sequence: measure may be noisy (consuming one RNG draw
+	// per call) and float summation is order-sensitive, so an unspecified
+	// order would make Var, and with it the whole run, nondeterministic.
+	for _, i := range o.Logical.Neighbors(u) {
 		hi := o.hostOf[i]
 		if i == v {
 			hi = hu // v's host after the swap; d is symmetric so value is unchanged
 		}
 		before += measure(hu, o.hostOf[i])
 		after += measure(hv, hi)
-		return true
-	})
-	o.Logical.VisitNeighbors(v, func(i int, _ float64) bool {
+	}
+	for _, i := range o.Logical.Neighbors(v) {
 		hi := o.hostOf[i]
 		if i == u {
 			hi = hv
 		}
 		before += measure(hv, o.hostOf[i])
 		after += measure(hu, hi)
-		return true
-	})
+	}
 	return before - after
 }
 
@@ -429,6 +431,60 @@ func (o *Overlay) RemoveSlot(u int) error {
 	o.hostOf[u] = -1
 	o.alive[u] = false
 	o.aliveCount--
+	return nil
+}
+
+// CheckInvariants verifies the overlay's structural invariants — the
+// executable form of the slot/host model's contract, evaluated online by
+// the auditor (internal/audit) after every PROP exchange:
+//
+//   - slot↔host is a bijection on live slots: every live slot has a
+//     distinct host, slotOfHost inverts hostOf exactly, and no dead slot
+//     retains a host;
+//   - aliveCount agrees with the alive mask;
+//   - the logical graph covers exactly the slot ID space and no edge
+//     touches a dead slot.
+//
+// It returns the first violation found, or nil.
+func (o *Overlay) CheckInvariants() error {
+	if len(o.hostOf) != len(o.alive) {
+		return fmt.Errorf("overlay: %d host entries vs %d alive entries", len(o.hostOf), len(o.alive))
+	}
+	if o.Logical.NumVertices() != len(o.hostOf) {
+		return fmt.Errorf("overlay: logical graph has %d vertices, %d slots exist",
+			o.Logical.NumVertices(), len(o.hostOf))
+	}
+	count := 0
+	for s, a := range o.alive {
+		if !a {
+			if o.hostOf[s] != -1 {
+				return fmt.Errorf("overlay: dead slot %d still holds host %d", s, o.hostOf[s])
+			}
+			if o.Logical.Degree(s) != 0 {
+				return fmt.Errorf("overlay: dead slot %d has %d logical edges", s, o.Logical.Degree(s))
+			}
+			continue
+		}
+		count++
+		h := o.hostOf[s]
+		if h < 0 {
+			return fmt.Errorf("overlay: live slot %d has no host", s)
+		}
+		back, ok := o.slotOfHost[h]
+		if !ok {
+			return fmt.Errorf("overlay: host %d of slot %d missing from reverse map", h, s)
+		}
+		if back != s {
+			return fmt.Errorf("overlay: host %d maps back to slot %d, not %d (bijection broken)", h, back, s)
+		}
+	}
+	if count != o.aliveCount {
+		return fmt.Errorf("overlay: aliveCount %d, counted %d live slots", o.aliveCount, count)
+	}
+	if len(o.slotOfHost) != count {
+		return fmt.Errorf("overlay: reverse map holds %d hosts, %d slots are live (bijection broken)",
+			len(o.slotOfHost), count)
+	}
 	return nil
 }
 

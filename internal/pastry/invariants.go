@@ -1,0 +1,62 @@
+package pastry
+
+import "fmt"
+
+// CheckInvariants verifies the mesh's structural contract — the Pastry-level
+// predicate the online auditor (internal/audit) evaluates during audited
+// runs:
+//
+//   - the sorted ring lists exactly the live slots in strictly ascending
+//     identifier order, and pos inverts it;
+//   - every leaf-set entry is live;
+//   - every routing-table entry at (row r, column c) of slot s is live,
+//     shares exactly r leading digits with s's identifier, and has digit c
+//     at position r — Pastry's prefix constraint.
+//
+// It returns the first violation found, or nil.
+func (m *Mesh) CheckInvariants() error {
+	n := len(m.sorted)
+	if n != m.O.NumAlive() {
+		return fmt.Errorf("pastry: ring order lists %d slots, %d are live", n, m.O.NumAlive())
+	}
+	if len(m.pos) != n {
+		return fmt.Errorf("pastry: pos maps %d slots, ring order has %d", len(m.pos), n)
+	}
+	for i, s := range m.sorted {
+		if !m.O.Alive(s) {
+			return fmt.Errorf("pastry: ring order contains dead slot %d", s)
+		}
+		if i > 0 && m.ID[m.sorted[i-1]] >= m.ID[s] {
+			return fmt.Errorf("pastry: ring order broken at index %d", i)
+		}
+		if m.pos[s] != i {
+			return fmt.Errorf("pastry: pos[%d] = %d, ring order says %d", s, m.pos[s], i)
+		}
+	}
+	for _, s := range m.sorted {
+		for _, l := range m.leaves[s] {
+			if !m.O.Alive(l) {
+				return fmt.Errorf("pastry: slot %d leaf set references dead slot %d", s, l)
+			}
+		}
+		for r, row := range m.table[s] {
+			for c, t := range row {
+				if t < 0 {
+					continue
+				}
+				if !m.O.Alive(t) {
+					return fmt.Errorf("pastry: slot %d table[%d][%d] references dead slot %d", s, r, c, t)
+				}
+				if got := sharedPrefix(m.ID[s], m.ID[t]); got != r {
+					return fmt.Errorf("pastry: slot %d table[%d][%d] entry %d shares %d digits, want %d",
+						s, r, c, t, got, r)
+				}
+				if got := digit(m.ID[t], r); got != c {
+					return fmt.Errorf("pastry: slot %d table[%d][%d] entry %d has digit %d at row %d",
+						s, r, c, t, got, r)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -112,9 +112,10 @@ func Build(hosts []int, cfg Config, lat overlay.LatencyFunc, r *rng.Rand) (*Mesh
 	return m, nil
 }
 
-// buildLeafSets links each node to its L/2 ring neighbors per side.
+// buildLeafSets links each node to its L/2 ring neighbors per side. Only
+// live slots participate: m.sorted lists exactly the live membership.
 func (m *Mesh) buildLeafSets() {
-	n := len(m.ID)
+	n := len(m.sorted)
 	half := m.cfg.LeafSetSize / 2
 	if half > (n-1)/2 {
 		half = (n - 1) / 2
@@ -158,12 +159,11 @@ func sharedPrefix(a, b uint32) int {
 // buildTables fills each node's routing table from global knowledge (the
 // simulator's equivalent of a converged Pastry join protocol).
 func (m *Mesh) buildTables(lat overlay.LatencyFunc) {
-	n := len(m.ID)
 	// Group nodes by every (prefix length, prefix value) bucket lazily:
 	// for each node s and row r, candidates share digits [0,r) with s and
-	// differ at r. A single pass per node over all nodes is O(n²) — fine at
-	// simulation scale and run once.
-	for s := 0; s < n; s++ {
+	// differ at r. A single pass per node over all live nodes is O(n²) —
+	// fine at simulation scale.
+	for _, s := range m.sorted {
 		rows := make([][]int, Digits)
 		for r := range rows {
 			row := make([]int, Cols)
@@ -180,7 +180,7 @@ func (m *Mesh) buildTables(lat overlay.LatencyFunc) {
 			}
 		}
 		hs := m.O.HostOf(s)
-		for t := 0; t < n; t++ {
+		for _, t := range m.sorted {
 			if t == s {
 				continue
 			}
@@ -206,7 +206,7 @@ func (m *Mesh) buildTables(lat overlay.LatencyFunc) {
 // mirror reflects leaf sets and routing tables into the overlay's logical
 // graph (bidirectional links, per the paper's §3.2 assumption).
 func (m *Mesh) mirror() {
-	for s := range m.ID {
+	for _, s := range m.sorted {
 		for _, l := range m.leaves[s] {
 			m.O.AddEdge(s, l)
 		}
