@@ -1,0 +1,135 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// document on stdout, so CI can archive benchmark runs as machine-readable
+// artifacts (e.g. BENCH_PR2.json) and humans can diff them across commits.
+//
+// Usage:
+//
+//	go test ./internal/netsim -run '^$' -bench . -benchmem | benchjson -label after > BENCH.json
+//
+// Lines that are not benchmark results (goos/pkg headers, PASS/ok) are
+// folded into the environment header; unparseable lines are ignored.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Package     string  `json:"package,omitempty"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	Label   string            `json:"label,omitempty"`
+	Env     map[string]string `json:"env,omitempty"`
+	Results []Result          `json:"results"`
+}
+
+func main() {
+	label := flag.String("label", "", "free-form label recorded in the output (e.g. 'after', a commit sha)")
+	flag.Parse()
+
+	rep := Report{Label: *label, Env: map[string]string{}, Results: []Result{}}
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"),
+			strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "cpu:"):
+			if k, v, ok := strings.Cut(line, ":"); ok {
+				rep.Env[k] = strings.TrimSpace(v)
+			}
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseBench(line); ok {
+				r.Package = pkg
+				rep.Results = append(rep.Results, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: write: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseBench decodes one result line of the form
+//
+//	BenchmarkName-8   5  83957721 ns/op  5319251 B/op  776 allocs/op
+func parseBench(line string) (Result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !hasUnit(f, "ns/op") {
+		return Result{}, false
+	}
+	var r Result
+	r.Name = strings.TrimSuffix(f[0], "-"+cpuSuffix(f[0]))
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r.Iterations = iters
+	for i := 2; i+1 < len(f); i += 2 {
+		val := f[i]
+		unit := f[i+1]
+		switch unit {
+		case "ns/op":
+			if v, err := strconv.ParseFloat(val, 64); err == nil {
+				r.NsPerOp = v
+			}
+		case "B/op":
+			if v, err := strconv.ParseInt(val, 10, 64); err == nil {
+				r.BytesPerOp = v
+			}
+		case "allocs/op":
+			if v, err := strconv.ParseInt(val, 10, 64); err == nil {
+				r.AllocsPerOp = v
+			}
+		}
+	}
+	return r, r.NsPerOp > 0
+}
+
+func hasUnit(fields []string, unit string) bool {
+	for _, f := range fields {
+		if f == unit {
+			return true
+		}
+	}
+	return false
+}
+
+// cpuSuffix extracts the trailing GOMAXPROCS suffix ("8" in
+// "BenchmarkFoo-8") so names compare across machines; returns "" if none.
+func cpuSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return ""
+	}
+	suf := name[i+1:]
+	if _, err := strconv.Atoi(suf); err != nil {
+		return ""
+	}
+	return suf
+}

@@ -19,13 +19,15 @@ import (
 
 func main() {
 	var (
-		expID  = flag.String("exp", "", "experiment id (or 'all')")
-		seed   = flag.Uint64("seed", 1, "deterministic seed")
-		trials = flag.Int("trials", 3, "independent trials to average")
-		scale  = flag.Float64("scale", 1.0, "scale factor in (0,1]: shrinks node counts and workloads")
-		list   = flag.Bool("list", false, "list available experiments")
-		format = flag.String("format", "table", "output format: table | csv | json")
-		plot   = flag.Bool("plot", false, "render an ASCII chart after the table")
+		expID      = flag.String("exp", "", "experiment id (or 'all')")
+		seed       = flag.Uint64("seed", 1, "deterministic seed")
+		trials     = flag.Int("trials", 3, "independent trials to average")
+		scale      = flag.Float64("scale", 1.0, "scale factor in (0,1]: shrinks node counts and workloads")
+		list       = flag.Bool("list", false, "list available experiments")
+		format     = flag.String("format", "table", "output format: table | csv | json")
+		plot       = flag.Bool("plot", false, "render an ASCII chart after the table")
+		oracleRows = flag.Int("oracle-rows", 0, "cap cached latency-oracle rows per trial (0 = unbounded); use >= the overlay size or the cache thrashes")
+		oracleF32  = flag.Bool("oracle-f32", false, "store oracle rows as float32 (half the cache memory, sub-ppm rounding)")
 	)
 	flag.Parse()
 
@@ -45,7 +47,10 @@ func main() {
 	if *expID == "all" {
 		ids = experiment.IDs()
 	}
-	opt := experiment.Options{Seed: *seed, Trials: *trials, Scale: *scale}
+	opt := experiment.Options{
+		Seed: *seed, Trials: *trials, Scale: *scale,
+		OracleRowBudget: *oracleRows, OracleFloat32: *oracleF32,
+	}
 	for _, id := range ids {
 		start := time.Now()
 		res, err := experiment.Run(id, opt)

@@ -16,29 +16,44 @@ import (
 type env struct {
 	net    *netsim.Network
 	oracle *netsim.Oracle
+	oopt   netsim.OracleOptions
 	r      *rng.Rand
 }
 
-// newEnv generates the physical substrate for one trial.
-func newEnv(preset netsim.Config, seed uint64) (*env, error) {
+// newEnv generates the physical substrate for one trial. The experiment
+// options select the oracle's memory mode (Options.OracleRowBudget /
+// Options.OracleFloat32); the defaults reproduce the historical
+// full-precision unbounded cache bit for bit.
+func newEnv(opt Options, preset netsim.Config, seed uint64) (*env, error) {
 	r := rng.New(seed)
 	net, err := netsim.Generate(preset, r)
 	if err != nil {
 		return nil, err
 	}
-	return &env{net: net, oracle: netsim.NewOracle(net), r: r}, nil
+	oopt := netsim.OracleOptions{Float32: opt.OracleFloat32, RowBudget: opt.OracleRowBudget}
+	return &env{net: net, oracle: netsim.NewOracleWith(net, oopt), oopt: oopt, r: r}, nil
 }
 
 // pickHosts selects n distinct stub hosts uniformly at random; n is capped
 // at the number of stub hosts ("PROP-G is still effective even when almost
-// all physical nodes are chosen").
+// all physical nodes are chosen"). The picked hosts' oracle rows are warmed
+// in bulk — every overlay build and metric sample queries exactly these
+// sources, so one Precompute here replaces thousands of lazy cold-row
+// misses on the measurement path (capped at the row budget in bounded mode
+// to avoid pointless eviction churn).
 func (e *env) pickHosts(n int) []int {
 	hosts := append([]int(nil), e.net.StubHosts...)
 	e.r.Shuffle(len(hosts), func(i, j int) { hosts[i], hosts[j] = hosts[j], hosts[i] })
 	if n > len(hosts) {
 		n = len(hosts)
 	}
-	return hosts[:n]
+	picked := hosts[:n]
+	warm := picked
+	if b := e.oopt.RowBudget; b > 0 && len(warm) > b {
+		warm = warm[:b]
+	}
+	e.oracle.Precompute(warm)
+	return picked
 }
 
 // buildGnutella constructs an n-peer unstructured overlay on this network.

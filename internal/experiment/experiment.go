@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -36,6 +37,16 @@ type Options struct {
 	// (every event under -tags auditstrict). One summary line per trial is
 	// appended to Result.Notes; any violation fails the run.
 	Audit bool
+	// OracleRowBudget caps the number of distance rows each trial's latency
+	// oracle keeps cached (0 = unbounded). Bounding the cache lets
+	// full-scale runs trade recomputation for memory: a ts-large trial with
+	// an unbounded cache holds an O(sources·N) float64 matrix. Values are
+	// unaffected — evicted rows are recomputed exactly.
+	OracleRowBudget int
+	// OracleFloat32 stores oracle rows as float32, halving cache memory.
+	// Latencies round once on store (sub-ppm error at millisecond scale),
+	// so outputs may differ in the last digits from the float64 default.
+	OracleFloat32 bool
 }
 
 func (o Options) withDefaults() Options {
@@ -161,19 +172,35 @@ func Run(id string, opt Options) (*Result, error) {
 	return entry.run(opt.withDefaults())
 }
 
-// forEachTrial runs body for every trial index in parallel and returns the
-// per-trial outputs in index order. body must be self-contained (own RNG,
-// own network). The first error wins.
+// forEachTrial runs body for every trial index on a GOMAXPROCS-bounded
+// worker pool and returns the per-trial outputs in index order. body must
+// be self-contained (own RNG, own network). The lowest-indexed error wins,
+// exactly as when each trial had its own goroutine. Bounding the pool keeps
+// a 100-trial sweep from spawning 100 simulations at once; each trial's
+// internal parallelism (Oracle.Precompute, metric evaluators) draws from a
+// process-wide worker budget, so the layers compose without oversubscribing
+// the CPUs.
 func forEachTrial(trials int, body func(trial int) ([]stats.Series, error)) ([][]stats.Series, error) {
 	out := make([][]stats.Series, trials)
 	errs := make([]error, trials)
-	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	if workers > trials {
+		workers = trials
+	}
+	ch := make(chan int, trials)
 	for t := 0; t < trials; t++ {
-		wg.Add(1)
-		go func(t int) {
+		ch <- t
+	}
+	close(ch)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
 			defer wg.Done()
-			out[t], errs[t] = body(t)
-		}(t)
+			for t := range ch {
+				out[t], errs[t] = body(t)
+			}
+		}()
 	}
 	wg.Wait()
 	for _, err := range errs {

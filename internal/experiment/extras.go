@@ -29,7 +29,7 @@ func runOverhead(opt Options) (*Result, error) {
 		{"PROP-O m=4", core.PROPO, 4},
 	}
 	perTrial, err := forEachTrial(opt.Trials, func(trial int) ([]stats.Series, error) {
-		e, err := newEnv(netsim.TSLarge(), trialSeed(opt.Seed, trial))
+		e, err := newEnv(opt, netsim.TSLarge(), trialSeed(opt.Seed, trial))
 		if err != nil {
 			return nil, err
 		}
@@ -111,7 +111,7 @@ func runChurn(opt Options) (*Result, error) {
 }
 
 func oneChurnTrial(opt Options, seed uint64) ([]stats.Series, error) {
-	e, err := newEnv(netsim.TSLarge(), seed)
+	e, err := newEnv(opt, netsim.TSLarge(), seed)
 	if err != nil {
 		return nil, err
 	}
@@ -224,7 +224,7 @@ func runCombo(opt Options) (*Result, error) {
 }
 
 func oneComboTrial(opt Options, seed uint64) ([]stats.Series, error) {
-	e, err := newEnv(netsim.TSLarge(), seed)
+	e, err := newEnv(opt, netsim.TSLarge(), seed)
 	if err != nil {
 		return nil, err
 	}

@@ -69,7 +69,7 @@ func runGnutellaSeries(opt Options, variants []gnutellaVariant) ([]stats.Series,
 // workload; runSeed drives only the protocol's randomness. The returned
 // string is the audit summary ("" unless opt.Audit).
 func oneGnutellaRun(opt Options, v gnutellaVariant, envSeed, runSeed uint64) (stats.Series, string, error) {
-	e, err := newEnv(v.preset, envSeed)
+	e, err := newEnv(opt, v.preset, envSeed)
 	if err != nil {
 		return stats.Series{}, "", err
 	}

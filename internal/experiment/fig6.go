@@ -91,7 +91,7 @@ func runChordSeries(opt Options, variants []chordVariant) ([]stats.Series, []str
 // stretch. envSeed fixes the world, ring, and workload; runSeed drives the
 // protocol. The returned string is the audit summary ("" unless opt.Audit).
 func oneChordRun(opt Options, v chordVariant, envSeed, runSeed uint64) (stats.Series, string, error) {
-	e, err := newEnv(v.preset, envSeed)
+	e, err := newEnv(opt, v.preset, envSeed)
 	if err != nil {
 		return stats.Series{}, "", err
 	}

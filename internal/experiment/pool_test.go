@@ -1,0 +1,70 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// TestForEachTrialOrderAndErrors: the bounded pool must keep the exact
+// semantics of the old one-goroutine-per-trial version — outputs land at
+// their trial index and the lowest-indexed error wins.
+func TestForEachTrialOrderAndErrors(t *testing.T) {
+	const trials = 17
+	out, err := forEachTrial(trials, func(trial int) ([]stats.Series, error) {
+		return []stats.Series{{Label: fmt.Sprintf("trial-%d", trial)}}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != trials {
+		t.Fatalf("got %d outputs, want %d", len(out), trials)
+	}
+	for i, series := range out {
+		if want := fmt.Sprintf("trial-%d", i); series[0].Label != want {
+			t.Fatalf("out[%d] holds %q, want %q", i, series[0].Label, want)
+		}
+	}
+
+	_, err = forEachTrial(trials, func(trial int) ([]stats.Series, error) {
+		if trial == 3 || trial == 11 {
+			return nil, fmt.Errorf("boom %d", trial)
+		}
+		return nil, nil
+	})
+	if err == nil || err.Error() != "boom 3" {
+		t.Fatalf("got error %v, want the lowest-indexed failure (boom 3)", err)
+	}
+}
+
+// TestForEachTrialBoundedConcurrency: no more than GOMAXPROCS trial bodies
+// run at once, and every trial still runs exactly once.
+func TestForEachTrialBoundedConcurrency(t *testing.T) {
+	const trials = 64
+	var inFlight, peak, ran atomic.Int64
+	_, err := forEachTrial(trials, func(trial int) ([]stats.Series, error) {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		runtime.Gosched()
+		inFlight.Add(-1)
+		ran.Add(1)
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ran.Load(); got != trials {
+		t.Fatalf("%d trials ran, want %d", got, trials)
+	}
+	if max := int64(runtime.GOMAXPROCS(0)); peak.Load() > max {
+		t.Fatalf("observed %d concurrent trials, cap is %d", peak.Load(), max)
+	}
+}

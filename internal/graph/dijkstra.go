@@ -9,19 +9,30 @@ import (
 var Inf = math.Inf(1)
 
 // ShortestPaths computes single-source shortest path distances from src
-// over edge weights using Dijkstra's algorithm with a binary heap.
-// Unreachable vertices get +Inf. The returned slice has length
-// g.NumVertices().
+// using Dijkstra over the graph's frozen CSR view (cached across calls on a
+// static graph; see Frozen). Unreachable vertices get +Inf. The returned
+// slice has length g.NumVertices().
 func (g *Graph) ShortestPaths(src int) []float64 {
-	dist, _ := g.shortestPaths(src, false)
-	return dist
+	return g.Frozen().ShortestPaths(src)
 }
 
 // ShortestPathTree computes distances plus the predecessor of each vertex
 // on some shortest path from src (prev[src] == -1; unreachable vertices
-// also get -1).
+// also get -1). Tie-breaks between equal-cost paths follow the frozen
+// view's sorted neighbor order, so the tree is deterministic regardless of
+// edge insertion order.
 func (g *Graph) ShortestPathTree(src int) (dist []float64, prev []int) {
-	return g.shortestPaths(src, true)
+	return g.Frozen().ShortestPathTree(src)
+}
+
+// ShortestPathsBaseline is the pre-CSR Dijkstra over the adjacency maps
+// with a container/heap binary heap. It is retained as an independent
+// reference implementation for property tests and as the "before" kernel in
+// the internal/netsim warm-up benchmarks; hot paths should use
+// ShortestPaths or Frozen().ShortestPathsInto.
+func (g *Graph) ShortestPathsBaseline(src int) []float64 {
+	dist, _ := g.shortestPaths(src, false)
+	return dist
 }
 
 func (g *Graph) shortestPaths(src int, wantPrev bool) ([]float64, []int) {

@@ -21,6 +21,11 @@ import (
 type Graph struct {
 	adj []map[int]float64 // adj[u][v] = weight of edge {u,v}
 	m   int               // number of edges
+
+	// frozen caches the CSR view built by Frozen(); every mutation clears
+	// it. Atomic so concurrent readers of a static graph never race the
+	// lazy build.
+	frozen frozenCache
 }
 
 // New returns a graph with n isolated vertices.
@@ -41,6 +46,7 @@ func (g *Graph) NumEdges() int { return g.m }
 // AddVertex appends a new isolated vertex and returns its ID.
 func (g *Graph) AddVertex() int {
 	g.adj = append(g.adj, make(map[int]float64))
+	g.invalidateFrozen()
 	return len(g.adj) - 1
 }
 
@@ -65,6 +71,7 @@ func (g *Graph) AddEdge(u, v int, w float64) error {
 	}
 	g.adj[u][v] = w
 	g.adj[v][u] = w
+	g.invalidateFrozen()
 	return nil
 }
 
@@ -88,6 +95,7 @@ func (g *Graph) RemoveEdge(u, v int) bool {
 	delete(g.adj[u], v)
 	delete(g.adj[v], u)
 	g.m--
+	g.invalidateFrozen()
 	return true
 }
 

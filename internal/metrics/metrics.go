@@ -112,7 +112,11 @@ func AverageLatency(o *overlay.Overlay, proc overlay.ProcDelayFunc, sample int, 
 		}
 		return mean, nil
 	}
-	// Exact: one single-source computation per node, fanned out.
+	// Exact: one bulk single-source computation per node, fanned out. The
+	// bulk kernel (FloodLatenciesInto) settles every destination in one
+	// Dijkstra, so the whole computation is O(n·Dijkstra) rather than the
+	// O(n²·Dijkstra) a pairwise loop would cost; each worker reuses one
+	// arrival buffer across its sources.
 	rows := make([]float64, n)
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
@@ -129,14 +133,16 @@ func AverageLatency(o *overlay.Overlay, proc overlay.ProcDelayFunc, sample int, 
 	for w := 0; w < workers; w++ {
 		go func(w int) {
 			defer wg.Done()
+			arrivals := make([]float64, o.NumSlots())
 			for i := range ch {
 				src := slots[i]
+				o.FloodLatenciesInto(src, proc, arrivals)
 				total := 0.0
 				for _, dst := range slots {
 					if dst == src {
 						continue
 					}
-					d := o.FloodLatency(src, dst, proc)
+					d := arrivals[dst]
 					if math.IsInf(d, 1) {
 						errs[w] = fmt.Errorf("metrics: pair (%d,%d) unreachable", src, dst)
 						return

@@ -9,92 +9,231 @@ import (
 	"repro/internal/graph"
 )
 
+// OracleOptions selects the oracle's row representation and memory policy.
+// The zero value is the full-precision, unbounded mode every experiment
+// defaults to (bit-identical results with the historical oracle).
+type OracleOptions struct {
+	// Float32 stores cached rows as float32 instead of float64, halving the
+	// resident size of the distance cache. Latencies are computed in
+	// float64 and rounded once on store, so results are deterministic; the
+	// rounding error is bounded by one float32 ulp of the distance
+	// (sub-microsecond at millisecond scale).
+	Float32 bool
+	// RowBudget caps the number of cached source rows; 0 means unbounded.
+	// When the cache is full, admitting a new row deterministically evicts
+	// the oldest admitted row (FIFO), so a full-scale ts-large run never
+	// holds more than RowBudget·N distances at once. Evicted rows are
+	// recomputed on demand.
+	RowBudget int
+}
+
 // Oracle answers "what is the latency between physical nodes u and v?" — the
 // question every PROP probe, every lookup, and every metric sample asks.
 // In the authors' simulator a probe packet traverses the generated topology;
 // here the equivalent is the shortest-path distance in the physical graph.
 //
-// Distances are computed lazily, one Dijkstra per source, and cached. The
-// cache is safe for concurrent use: parallel trial runners and the parallel
-// metric evaluators all share one Oracle per network. A sync.Once per source
-// row guarantees each Dijkstra runs at most once even under contention, and
-// rows are published through atomic pointers so readers never race writers.
+// Distances are computed lazily, one Dijkstra per source over the frozen
+// CSR view of the physical graph, and cached. The cache is safe for
+// concurrent use: parallel trial runners and the parallel metric evaluators
+// all share one Oracle per network. Rows are published through atomic
+// pointers, so the read path is lock-free in every mode; only admission
+// and eviction in the memory-bounded mode take a lock.
 type Oracle struct {
-	g    *graph.Graph
-	rows []oracleRow
+	fz  *graph.Frozen
+	opt OracleOptions
+
+	rows   []atomic.Pointer[[]float64] // full-precision mode
+	rows32 []atomic.Pointer[[]float32] // Float32 mode
+	once   []sync.Once                 // unbounded mode: one Dijkstra per row
+	cached atomic.Int64                // materialized row count, O(1) CachedRows
+
+	mu   sync.Mutex // bounded mode: guards fifo and admission/eviction
+	fifo []int32    // admission order of cached rows (oldest first)
 }
 
-type oracleRow struct {
-	once sync.Once
-	dist atomic.Pointer[[]float64]
-}
+// precomputeSlots is a process-wide cap on extra Precompute workers so that
+// concurrent Precompute calls — e.g. one per experiment trial — compose
+// without spawning GOMAXPROCS² goroutines. Each call always makes progress
+// on its own goroutine even when no slot is free.
+var precomputeSlots = make(chan struct{}, runtime.GOMAXPROCS(0))
 
-// NewOracle builds a latency oracle over the physical graph of net.
+// NewOracle builds a full-precision, unbounded latency oracle over the
+// physical graph of net.
 func NewOracle(net *Network) *Oracle {
-	return &Oracle{
-		g:    net.Graph,
-		rows: make([]oracleRow, net.Graph.NumVertices()),
-	}
+	return NewOracleWith(net, OracleOptions{})
 }
+
+// NewOracleWith builds a latency oracle with explicit memory options.
+func NewOracleWith(net *Network, opt OracleOptions) *Oracle {
+	n := net.Graph.NumVertices()
+	if opt.RowBudget < 0 {
+		opt.RowBudget = 0
+	}
+	o := &Oracle{fz: net.Graph.Frozen(), opt: opt}
+	if opt.Float32 {
+		o.rows32 = make([]atomic.Pointer[[]float32], n)
+	} else {
+		o.rows = make([]atomic.Pointer[[]float64], n)
+	}
+	if opt.RowBudget == 0 {
+		o.once = make([]sync.Once, n)
+	}
+	return o
+}
+
+// NumNodes reports the number of physical nodes the oracle covers.
+func (o *Oracle) NumNodes() int { return o.fz.NumVertices() }
 
 // Latency returns the physical shortest-path latency from u to v in
 // milliseconds. It panics if either endpoint is out of range (the caller
 // owns node IDs; an out-of-range ID is a programming error, not an
 // environmental condition).
 func (o *Oracle) Latency(u, v int) float64 {
-	if u < 0 || u >= len(o.rows) || v < 0 || v >= len(o.rows) {
-		panic(fmt.Sprintf("netsim: latency query (%d,%d) out of range [0,%d)", u, v, len(o.rows)))
+	n := o.fz.NumVertices()
+	if u < 0 || u >= n || v < 0 || v >= n {
+		panic(fmt.Sprintf("netsim: latency query (%d,%d) out of range [0,%d)", u, v, n))
 	}
 	if u == v {
 		return 0
 	}
 	// Prefer an already-computed row in either direction: distances are
 	// symmetric in an undirected graph.
-	if p := o.rows[u].dist.Load(); p != nil {
-		return (*p)[v]
-	}
-	if p := o.rows[v].dist.Load(); p != nil {
-		return (*p)[u]
-	}
-	return o.row(u)[v]
-}
-
-// row returns the cached distance vector from src, computing it on first use.
-func (o *Oracle) row(src int) []float64 {
-	r := &o.rows[src]
-	r.once.Do(func() {
-		d := o.g.ShortestPaths(src)
-		r.dist.Store(&d)
-	})
-	return *r.dist.Load()
-}
-
-// Row exposes the full distance vector from src (shared storage; callers
-// must not mutate it). Useful for bulk metric computation.
-func (o *Oracle) Row(src int) []float64 {
-	if src < 0 || src >= len(o.rows) {
-		panic(fmt.Sprintf("netsim: row query %d out of range [0,%d)", src, len(o.rows)))
-	}
-	return o.row(src)
-}
-
-// Precompute warms the cache for the given sources using up to
-// runtime.GOMAXPROCS(0) worker goroutines. Experiments call this with the
-// overlay's attachment hosts so the measurement phase is contention-free.
-// All sources are validated before any work is enqueued: a bad source in
-// the middle of the list panics without computing (or leaking) anything, so
-// the cache is untouched rather than half-warmed.
-func (o *Oracle) Precompute(sources []int) {
-	for _, s := range sources {
-		if s < 0 || s >= len(o.rows) {
-			panic(fmt.Sprintf("netsim: precompute source %d out of range [0,%d)", s, len(o.rows)))
+	if o.opt.Float32 {
+		if p := o.rows32[u].Load(); p != nil {
+			return float64((*p)[v])
+		}
+		if p := o.rows32[v].Load(); p != nil {
+			return float64((*p)[u])
+		}
+	} else {
+		if p := o.rows[u].Load(); p != nil {
+			return (*p)[v]
+		}
+		if p := o.rows[v].Load(); p != nil {
+			return (*p)[u]
 		}
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(sources) {
-		workers = len(sources)
+	// Neither direction is cached: warm the lower-indexed endpoint, so the
+	// symmetric query later reuses this row instead of running a second
+	// Dijkstra into the other endpoint's slot.
+	if u > v {
+		u, v = v, u
 	}
-	if workers < 1 {
+	o.ensure(u)
+	if o.opt.Float32 {
+		return float64((*o.rows32[u].Load())[v])
+	}
+	return (*o.rows[u].Load())[v]
+}
+
+// Row exposes the full distance vector from src, computing it on first use.
+// In float64 mode the returned slice is the shared cached storage; callers
+// must not mutate it. In Float32 mode it is a freshly allocated float64
+// widening of the cached row. Useful for bulk metric computation.
+func (o *Oracle) Row(src int) []float64 {
+	n := o.fz.NumVertices()
+	if src < 0 || src >= n {
+		panic(fmt.Sprintf("netsim: row query %d out of range [0,%d)", src, n))
+	}
+	o.ensure(src)
+	if o.opt.Float32 {
+		r32 := *o.rows32[src].Load()
+		out := make([]float64, len(r32))
+		for i, d := range r32 {
+			out[i] = float64(d)
+		}
+		return out
+	}
+	return *o.rows[src].Load()
+}
+
+// loaded reports whether src's row is currently materialized.
+func (o *Oracle) loaded(src int) bool {
+	if o.opt.Float32 {
+		return o.rows32[src].Load() != nil
+	}
+	return o.rows[src].Load() != nil
+}
+
+// store publishes a freshly computed row for src and bumps the counter.
+func (o *Oracle) store(src int, r64 []float64, r32 []float32) {
+	if o.opt.Float32 {
+		o.rows32[src].Store(&r32)
+	} else {
+		o.rows[src].Store(&r64)
+	}
+	o.cached.Add(1)
+}
+
+// compute runs one Dijkstra from src on the frozen CSR view into a fresh
+// row of the mode's representation.
+func (o *Oracle) compute(src int) (r64 []float64, r32 []float32) {
+	if o.opt.Float32 {
+		r32 = make([]float32, o.fz.NumVertices())
+		o.fz.ShortestPathsF32Into(src, r32)
+		return nil, r32
+	}
+	r64 = make([]float64, o.fz.NumVertices())
+	o.fz.ShortestPathsInto(src, r64)
+	return r64, nil
+}
+
+// ensure materializes src's row if it is not cached.
+//
+// Unbounded mode uses the per-row sync.Once, so each Dijkstra runs at most
+// once even under contention. Bounded mode computes outside the lock (so
+// concurrent warm-ups of distinct rows still parallelize), then admits
+// under the lock, evicting the oldest admitted rows while over budget; a
+// concurrent duplicate compute of the same row is possible but harmless —
+// the first store wins and the duplicate is discarded.
+func (o *Oracle) ensure(src int) {
+	if o.opt.RowBudget == 0 {
+		o.once[src].Do(func() {
+			r64, r32 := o.compute(src)
+			o.store(src, r64, r32)
+		})
+		return
+	}
+	if o.loaded(src) {
+		return
+	}
+	r64, r32 := o.compute(src)
+	o.mu.Lock()
+	if !o.loaded(src) {
+		for len(o.fifo) >= o.opt.RowBudget {
+			victim := o.fifo[0]
+			o.fifo = o.fifo[1:]
+			if o.opt.Float32 {
+				o.rows32[victim].Store(nil)
+			} else {
+				o.rows[victim].Store(nil)
+			}
+			o.cached.Add(-1)
+		}
+		o.store(src, r64, r32)
+		o.fifo = append(o.fifo, int32(src))
+	}
+	o.mu.Unlock()
+}
+
+// Precompute warms the cache for the given sources. Experiments call this
+// with the overlay's attachment hosts so the measurement phase is
+// contention-free. All sources are validated before any work is enqueued: a
+// bad source in the middle of the list panics without computing (or
+// leaking) anything, so the cache is untouched rather than half-warmed.
+//
+// Parallelism: the calling goroutine always participates; up to
+// GOMAXPROCS-1 extra workers are borrowed from a process-wide pool shared
+// by all oracles, so concurrent Precompute calls (one per trial) never
+// oversubscribe the CPUs.
+func (o *Oracle) Precompute(sources []int) {
+	n := o.fz.NumVertices()
+	for _, s := range sources {
+		if s < 0 || s >= n {
+			panic(fmt.Sprintf("netsim: precompute source %d out of range [0,%d)", s, n))
+		}
+	}
+	if len(sources) == 0 {
 		return
 	}
 	ch := make(chan int, len(sources))
@@ -103,25 +242,36 @@ func (o *Oracle) Precompute(sources []int) {
 	}
 	close(ch)
 	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for s := range ch {
-				o.row(s)
-			}
-		}()
+	extra := runtime.GOMAXPROCS(0) - 1
+	if extra > len(sources)-1 {
+		extra = len(sources) - 1
+	}
+acquire:
+	for i := 0; i < extra; i++ {
+		select {
+		case precomputeSlots <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer func() {
+					<-precomputeSlots
+					wg.Done()
+				}()
+				for s := range ch {
+					o.ensure(s)
+				}
+			}()
+		default:
+			break acquire // pool exhausted; the caller works alone
+		}
+	}
+	for s := range ch {
+		o.ensure(s)
 	}
 	wg.Wait()
 }
 
-// CachedRows reports how many source rows are currently materialized.
+// CachedRows reports how many source rows are currently materialized. It is
+// O(1): an atomic counter maintained on every admission and eviction.
 func (o *Oracle) CachedRows() int {
-	n := 0
-	for i := range o.rows {
-		if o.rows[i].dist.Load() != nil {
-			n++
-		}
-	}
-	return n
+	return int(o.cached.Load())
 }

@@ -243,9 +243,10 @@ func Generate(cfg Config, r *rng.Rand) (*Network, error) {
 		}
 	}
 
-	if !g.Connected() {
-		// Structurally impossible given ring construction, but the
-		// invariant is cheap to verify and load-bearing for everything else.
+	// Structurally impossible given ring construction, but the invariant is
+	// cheap to verify and load-bearing for everything else. Checking on the
+	// frozen CSR view also warms the cache the latency oracle reads from.
+	if !g.Frozen().Connected() {
 		return nil, fmt.Errorf("netsim: generated network is not connected")
 	}
 	return net, nil

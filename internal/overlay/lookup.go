@@ -1,7 +1,6 @@
 package overlay
 
 import (
-	"container/heap"
 	"math"
 )
 
@@ -10,6 +9,84 @@ import (
 // zero delay everywhere. The Fig. 7 heterogeneity experiments plug in the
 // bimodal model from internal/hetero.
 type ProcDelayFunc func(slot int) float64
+
+// floodScratch is the reusable working set of one slot-level Dijkstra: the
+// tentative-distance array, an indexed 4-ary heap of slot IDs, and each
+// slot's heap position. Recycled through a sync.Pool so concurrent lookup
+// evaluators (metrics fans out one goroutine per worker) each reuse their
+// own buffers, making flooding queries allocation-free after warm-up.
+type floodScratch struct {
+	dist []float64
+	heap []int32
+	pos  []int32
+}
+
+// floodPool hands out scratch sized to at least n slots.
+func (o *Overlay) floodGet() *floodScratch {
+	n := len(o.hostOf)
+	s, _ := o.floodPool.Get().(*floodScratch)
+	if s == nil {
+		s = &floodScratch{}
+	}
+	if cap(s.dist) < n {
+		s.dist = make([]float64, n)
+		s.pos = make([]int32, n)
+		s.heap = make([]int32, 0, n)
+	}
+	s.dist = s.dist[:n]
+	s.pos = s.pos[:n]
+	return s
+}
+
+func (o *Overlay) floodPut(s *floodScratch) { o.floodPool.Put(s) }
+
+// floodRun settles slots in nondecreasing first-arrival order from src.
+// It stops early when dst (if >= 0) or any slot of targets (if non-nil) is
+// settled, returning its arrival time; with no stop condition it computes
+// the full arrival vector into s.dist and returns +Inf. Dead slots and
+// unreachable slots keep +Inf.
+func (o *Overlay) floodRun(src int, proc ProcDelayFunc, s *floodScratch, dst int, targets map[int]bool) float64 {
+	dist := s.dist
+	pos := s.pos
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	for i := range pos {
+		pos[i] = -1
+	}
+	heap := s.heap[:0]
+	dist[src] = 0
+	heap = heapPushSlot(heap, pos, dist, int32(src))
+	for len(heap) > 0 {
+		u := int(heap[0])
+		heap = heapPopMinSlot(heap, pos, dist)
+		if u == dst || (targets != nil && targets[u]) {
+			s.heap = heap[:0]
+			return dist[u]
+		}
+		du := dist[u]
+		o.Logical.VisitNeighbors(u, func(nb int, _ float64) bool {
+			if !o.Alive(nb) {
+				return true
+			}
+			nd := du + o.lat(o.hostOf[u], o.hostOf[nb])
+			if proc != nil {
+				nd += proc(nb)
+			}
+			if nd < dist[nb] {
+				dist[nb] = nd
+				if pos[nb] < 0 {
+					heap = heapPushSlot(heap, pos, dist, int32(nb))
+				} else {
+					heapSiftUpSlot(heap, pos, dist, pos[nb])
+				}
+			}
+			return true
+		})
+	}
+	s.heap = heap[:0]
+	return math.Inf(1)
+}
 
 // FloodLatency returns the first-arrival latency of a flooded query from
 // slot src to slot dst. Flooding explores every path, so the first copy to
@@ -24,38 +101,10 @@ func (o *Overlay) FloodLatency(src, dst int, proc ProcDelayFunc) float64 {
 	if src == dst {
 		return 0
 	}
-	// Dense slot IDs make a slice cheaper than a map in this hot path
-	// (every sample point of Figs. 5 and 7 runs hundreds of these).
-	dist := make([]float64, len(o.hostOf))
-	for i := range dist {
-		dist[i] = math.Inf(1)
-	}
-	dist[src] = 0
-	pq := &lookupHeap{{slot: src, d: 0}}
-	for pq.Len() > 0 {
-		it := heap.Pop(pq).(lookupItem)
-		if it.d > dist[it.slot] {
-			continue
-		}
-		if it.slot == dst {
-			return it.d
-		}
-		o.Logical.VisitNeighbors(it.slot, func(nb int, _ float64) bool {
-			if !o.Alive(nb) {
-				return true
-			}
-			nd := it.d + o.Dist(it.slot, nb)
-			if proc != nil {
-				nd += proc(nb)
-			}
-			if nd < dist[nb] {
-				dist[nb] = nd
-				heap.Push(pq, lookupItem{slot: nb, d: nd})
-			}
-			return true
-		})
-	}
-	return math.Inf(1)
+	s := o.floodGet()
+	d := o.floodRun(src, proc, s, dst, nil)
+	o.floodPut(s)
+	return d
 }
 
 // FloodLatencyAny returns the first-arrival latency of a flooded query from
@@ -79,53 +128,104 @@ func (o *Overlay) FloodLatencyAny(src int, dsts []int, proc ProcDelayFunc) float
 	if targets[src] {
 		return 0
 	}
-	dist := make([]float64, len(o.hostOf))
-	for i := range dist {
-		dist[i] = math.Inf(1)
-	}
-	dist[src] = 0
-	pq := &lookupHeap{{slot: src, d: 0}}
-	for pq.Len() > 0 {
-		it := heap.Pop(pq).(lookupItem)
-		if it.d > dist[it.slot] {
-			continue
-		}
-		if targets[it.slot] {
-			return it.d
-		}
-		o.Logical.VisitNeighbors(it.slot, func(nb int, _ float64) bool {
-			if !o.Alive(nb) {
-				return true
-			}
-			nd := it.d + o.Dist(it.slot, nb)
-			if proc != nil {
-				nd += proc(nb)
-			}
-			if nd < dist[nb] {
-				dist[nb] = nd
-				heap.Push(pq, lookupItem{slot: nb, d: nd})
-			}
-			return true
-		})
-	}
-	return math.Inf(1)
+	s := o.floodGet()
+	d := o.floodRun(src, proc, s, -1, targets)
+	o.floodPut(s)
+	return d
 }
 
-type lookupItem struct {
-	slot int
-	d    float64
+// FloodLatenciesInto computes the first-arrival latency from src to EVERY
+// slot in one pass — the bulk kernel behind exact all-pairs metrics, which
+// turns an O(n²·Dijkstra) pair loop into O(n·Dijkstra). dist must have
+// length NumSlots(); entry i receives the arrival time at slot i (+Inf for
+// dead or unreachable slots, 0 for src). The slice is returned for
+// convenience.
+func (o *Overlay) FloodLatenciesInto(src int, proc ProcDelayFunc, dist []float64) []float64 {
+	if len(dist) != len(o.hostOf) {
+		panic("overlay: FloodLatenciesInto buffer length mismatch")
+	}
+	if !o.Alive(src) {
+		for i := range dist {
+			dist[i] = math.Inf(1)
+		}
+		return dist
+	}
+	s := o.floodGet()
+	o.floodRun(src, proc, s, -1, nil)
+	copy(dist, s.dist)
+	o.floodPut(s)
+	return dist
 }
 
-type lookupHeap []lookupItem
+// The indexed 4-ary min-heap over slot IDs keyed by tentative distance —
+// the same shape as internal/graph's frozen kernel heap, duplicated here
+// because it indexes overlay slots rather than CSR vertices and Go offers
+// no zero-cost generic bridge between the two hot loops.
 
-func (h lookupHeap) Len() int            { return len(h) }
-func (h lookupHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
-func (h lookupHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *lookupHeap) Push(x interface{}) { *h = append(*h, x.(lookupItem)) }
-func (h *lookupHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+func heapPushSlot(heap []int32, pos []int32, dist []float64, v int32) []int32 {
+	heap = append(heap, v)
+	pos[v] = int32(len(heap) - 1)
+	heapSiftUpSlot(heap, pos, dist, pos[v])
+	return heap
+}
+
+func heapPopMinSlot(heap []int32, pos []int32, dist []float64) []int32 {
+	root := heap[0]
+	pos[root] = -1
+	last := heap[len(heap)-1]
+	heap = heap[:len(heap)-1]
+	if len(heap) > 0 {
+		heap[0] = last
+		pos[last] = 0
+		heapSiftDownSlot(heap, pos, dist, 0)
+	}
+	return heap
+}
+
+func heapSiftUpSlot(heap []int32, pos []int32, dist []float64, i int32) {
+	v := heap[i]
+	d := dist[v]
+	for i > 0 {
+		parent := (i - 1) / 4
+		p := heap[parent]
+		if dist[p] <= d {
+			break
+		}
+		heap[i] = p
+		pos[p] = i
+		i = parent
+	}
+	heap[i] = v
+	pos[v] = i
+}
+
+func heapSiftDownSlot(heap []int32, pos []int32, dist []float64, i int32) {
+	n := int32(len(heap))
+	v := heap[i]
+	d := dist[v]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		minD := dist[heap[first]]
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if cd := dist[heap[c]]; cd < minD {
+				min, minD = c, cd
+			}
+		}
+		if minD >= d {
+			break
+		}
+		heap[i] = heap[min]
+		pos[heap[i]] = i
+		i = min
+	}
+	heap[i] = v
+	pos[v] = i
 }

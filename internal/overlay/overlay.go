@@ -19,6 +19,7 @@ package overlay
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/rng"
@@ -40,6 +41,10 @@ type Overlay struct {
 	alive      []bool
 	aliveCount int
 	lat        LatencyFunc
+
+	// floodPool recycles flooding-query scratch (see lookup.go) across the
+	// concurrent metric evaluators sharing this overlay.
+	floodPool sync.Pool
 }
 
 // New creates an overlay with one slot per entry of hosts, each slot i

@@ -32,20 +32,83 @@ const (
 // Kinds lists every supported shape.
 func Kinds() []Kind { return []Kind{Ring, Hypercube, Tree, Torus} }
 
-// Build constructs the named shape over the given hosts.
+// Build constructs the named shape over the given hosts and verifies the
+// result structurally before returning it.
 func Build(kind Kind, hosts []int, lat overlay.LatencyFunc) (*overlay.Overlay, error) {
+	var (
+		o   *overlay.Overlay
+		err error
+	)
 	switch kind {
 	case Ring:
-		return BuildRing(hosts, lat)
+		o, err = BuildRing(hosts, lat)
 	case Hypercube:
-		return BuildHypercube(hosts, lat)
+		o, err = BuildHypercube(hosts, lat)
 	case Tree:
-		return BuildTree(hosts, lat)
+		o, err = BuildTree(hosts, lat)
 	case Torus:
-		return BuildTorus(hosts, lat)
+		o, err = BuildTorus(hosts, lat)
 	default:
 		return nil, fmt.Errorf("topology: unknown kind %q", kind)
 	}
+	if err != nil {
+		return nil, err
+	}
+	if err := Verify(kind, o); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// Verify checks that the overlay's logical graph is exactly the named shape
+// — edge count, connectivity, and the shape's degree signature — using the
+// frozen CSR view of the logical graph (one linear snapshot instead of
+// per-vertex map walks). The check is the executable form of each builder's
+// contract; Build runs it on every construction.
+func Verify(kind Kind, o *overlay.Overlay) error {
+	n := o.NumSlots()
+	fz := o.Logical.Frozen()
+	want, err := ExpectedEdges(kind, n)
+	if err != nil {
+		return err
+	}
+	if got := fz.NumEdges(); got != want {
+		return fmt.Errorf("topology: %s over %d nodes has %d edges, want %d", kind, n, got, want)
+	}
+	if !fz.Connected() {
+		return fmt.Errorf("topology: %s over %d nodes is not connected", kind, n)
+	}
+	switch kind {
+	case Ring:
+		for u := 0; u < n; u++ {
+			if d := fz.Degree(u); d != 2 {
+				return fmt.Errorf("topology: ring vertex %d has degree %d, want 2", u, d)
+			}
+		}
+	case Hypercube:
+		dim := 0
+		for m := n; m > 1; m >>= 1 {
+			dim++
+		}
+		for u := 0; u < n; u++ {
+			if d := fz.Degree(u); d != dim {
+				return fmt.Errorf("topology: hypercube vertex %d has degree %d, want %d", u, d, dim)
+			}
+		}
+	case Tree:
+		for u := 0; u < n; u++ {
+			if d := fz.Degree(u); d < 1 || d > 3 {
+				return fmt.Errorf("topology: tree vertex %d has degree %d, want 1..3", u, d)
+			}
+		}
+	case Torus:
+		for u := 0; u < n; u++ {
+			if d := fz.Degree(u); d != 4 {
+				return fmt.Errorf("topology: torus vertex %d has degree %d, want 4", u, d)
+			}
+		}
+	}
+	return nil
 }
 
 // BuildRing connects the n slots in a cycle.
