@@ -48,6 +48,12 @@ func (g *Graph) Freeze() *Frozen {
 	if n > math.MaxInt32 {
 		panic(fmt.Sprintf("graph: cannot freeze %d vertices into int32 CSR", n))
 	}
+	// off/nbr indices are int32 and nbr holds both directions of every edge,
+	// so the directed arc count 2m must fit too — possible to exceed even
+	// with n well under MaxInt32.
+	if g.m > math.MaxInt32/2 {
+		panic(fmt.Sprintf("graph: cannot freeze %d edges (2m arcs) into int32 CSR", g.m))
+	}
 	f := &Frozen{
 		off: make([]int32, n+1),
 		nbr: make([]int32, 2*g.m),

@@ -47,8 +47,14 @@ type Oracle struct {
 	once   []sync.Once                 // unbounded mode: one Dijkstra per row
 	cached atomic.Int64                // materialized row count, O(1) CachedRows
 
-	mu   sync.Mutex // bounded mode: guards fifo and admission/eviction
-	fifo []int32    // admission order of cached rows (oldest first)
+	// Bounded mode: mu guards admission/eviction; fifo is a fixed-capacity
+	// ring buffer (len == RowBudget) holding the admission order of cached
+	// rows, oldest at head. A ring keeps eviction O(1) without retaining a
+	// dead prefix the way re-slicing an append-backed queue would.
+	mu   sync.Mutex
+	fifo []int32
+	head int // ring index of the oldest admitted row
+	live int // number of admitted rows in the ring
 }
 
 // precomputeSlots is a process-wide cap on extra Precompute workers so that
@@ -77,6 +83,8 @@ func NewOracleWith(net *Network, opt OracleOptions) *Oracle {
 	}
 	if opt.RowBudget == 0 {
 		o.once = make([]sync.Once, n)
+	} else {
+		o.fifo = make([]int32, opt.RowBudget)
 	}
 	return o
 }
@@ -115,15 +123,17 @@ func (o *Oracle) Latency(u, v int) float64 {
 	}
 	// Neither direction is cached: warm the lower-indexed endpoint, so the
 	// symmetric query later reuses this row instead of running a second
-	// Dijkstra into the other endpoint's slot.
+	// Dijkstra into the other endpoint's slot. Read through the row ensure
+	// returns, not a fresh Load — in bounded mode a concurrent admission
+	// burst can evict u between ensure and a re-load, nil-ing the atomic.
 	if u > v {
 		u, v = v, u
 	}
-	o.ensure(u)
+	r64, r32 := o.ensure(u)
 	if o.opt.Float32 {
-		return float64((*o.rows32[u].Load())[v])
+		return float64((*r32)[v])
 	}
-	return (*o.rows[u].Load())[v]
+	return (*r64)[v]
 }
 
 // Row exposes the full distance vector from src, computing it on first use.
@@ -135,24 +145,30 @@ func (o *Oracle) Row(src int) []float64 {
 	if src < 0 || src >= n {
 		panic(fmt.Sprintf("netsim: row query %d out of range [0,%d)", src, n))
 	}
-	o.ensure(src)
+	r64, r32 := o.ensure(src)
 	if o.opt.Float32 {
-		r32 := *o.rows32[src].Load()
-		out := make([]float64, len(r32))
-		for i, d := range r32 {
+		out := make([]float64, len(*r32))
+		for i, d := range *r32 {
 			out[i] = float64(d)
 		}
 		return out
 	}
-	return *o.rows[src].Load()
+	return *r64
+}
+
+// load returns src's currently materialized row in the mode's
+// representation, or (nil, nil) if it is not cached.
+func (o *Oracle) load(src int) (*[]float64, *[]float32) {
+	if o.opt.Float32 {
+		return nil, o.rows32[src].Load()
+	}
+	return o.rows[src].Load(), nil
 }
 
 // loaded reports whether src's row is currently materialized.
 func (o *Oracle) loaded(src int) bool {
-	if o.opt.Float32 {
-		return o.rows32[src].Load() != nil
-	}
-	return o.rows[src].Load() != nil
+	r64, r32 := o.load(src)
+	return r64 != nil || r32 != nil
 }
 
 // store publishes a freshly computed row for src and bumps the counter.
@@ -178,42 +194,63 @@ func (o *Oracle) compute(src int) (r64 []float64, r32 []float32) {
 	return r64, nil
 }
 
-// ensure materializes src's row if it is not cached.
+// ensure materializes src's row if it is not cached and returns it in the
+// mode's representation (exactly one of the results is non-nil). Callers
+// must read distances through the returned row rather than re-loading the
+// atomic slot: in bounded mode, concurrent admissions can evict src again
+// immediately after ensure returns, and a re-load would observe nil.
 //
 // Unbounded mode uses the per-row sync.Once, so each Dijkstra runs at most
-// once even under contention. Bounded mode computes outside the lock (so
-// concurrent warm-ups of distinct rows still parallelize), then admits
-// under the lock, evicting the oldest admitted rows while over budget; a
-// concurrent duplicate compute of the same row is possible but harmless —
-// the first store wins and the duplicate is discarded.
-func (o *Oracle) ensure(src int) {
+// once even under contention and rows are never evicted. Bounded mode
+// computes outside the lock (so concurrent warm-ups of distinct rows still
+// parallelize), then admits under the lock, evicting the oldest admitted
+// row when the ring is full; a concurrent duplicate compute of the same row
+// is possible but harmless — the admitted row wins and the duplicate is
+// discarded.
+func (o *Oracle) ensure(src int) (*[]float64, *[]float32) {
 	if o.opt.RowBudget == 0 {
 		o.once[src].Do(func() {
 			r64, r32 := o.compute(src)
 			o.store(src, r64, r32)
 		})
-		return
+		return o.load(src)
 	}
-	if o.loaded(src) {
-		return
+	if r64, r32 := o.load(src); r64 != nil || r32 != nil {
+		return r64, r32
 	}
 	r64, r32 := o.compute(src)
 	o.mu.Lock()
-	if !o.loaded(src) {
-		for len(o.fifo) >= o.opt.RowBudget {
-			victim := o.fifo[0]
-			o.fifo = o.fifo[1:]
-			if o.opt.Float32 {
-				o.rows32[victim].Store(nil)
-			} else {
-				o.rows[victim].Store(nil)
-			}
-			o.cached.Add(-1)
-		}
-		o.store(src, r64, r32)
-		o.fifo = append(o.fifo, int32(src))
+	defer o.mu.Unlock()
+	// Re-check under the lock: a concurrent duplicate compute may already
+	// have admitted src. Eviction also holds mu, so this row is the answer.
+	if l64, l32 := o.load(src); l64 != nil || l32 != nil {
+		return l64, l32
 	}
-	o.mu.Unlock()
+	if o.live == o.opt.RowBudget {
+		victim := o.fifo[o.head]
+		o.head++
+		if o.head == len(o.fifo) {
+			o.head = 0
+		}
+		o.live--
+		if o.opt.Float32 {
+			o.rows32[victim].Store(nil)
+		} else {
+			o.rows[victim].Store(nil)
+		}
+		o.cached.Add(-1)
+	}
+	o.store(src, r64, r32)
+	tail := o.head + o.live
+	if tail >= len(o.fifo) {
+		tail -= len(o.fifo)
+	}
+	o.fifo[tail] = int32(src)
+	o.live++
+	if o.opt.Float32 {
+		return nil, &r32
+	}
+	return &r64, nil
 }
 
 // Precompute warms the cache for the given sources. Experiments call this

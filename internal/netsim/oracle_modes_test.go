@@ -153,6 +153,42 @@ func TestOracleBoundedConcurrentAccess(t *testing.T) {
 	}
 }
 
+// TestOracleBoundedEvictionChurn pins the ensure-return fix: with a budget
+// of 1 every admission evicts the previous row, so a reader that re-loaded
+// the atomic slot after ensure (instead of using the row ensure returned)
+// would dereference a nil pointer almost immediately. Runs in both row
+// representations; CI runs it under -race.
+func TestOracleBoundedEvictionChurn(t *testing.T) {
+	net, err := Generate(TSSmall(), rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f32 := range []bool{false, true} {
+		o := NewOracleWith(net, OracleOptions{RowBudget: 1, Float32: f32})
+		hosts := net.StubHosts[:8]
+		var wg sync.WaitGroup
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				r := rng.New(uint64(w + 1))
+				for i := 0; i < 300; i++ {
+					u := hosts[r.Intn(len(hosts))]
+					v := hosts[r.Intn(len(hosts))]
+					_ = o.Latency(u, v)
+					if i%16 == 0 {
+						_ = o.Row(u)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		if got := o.CachedRows(); got > 1 {
+			t.Fatalf("Float32=%v: CachedRows() = %d, budget 1", f32, got)
+		}
+	}
+}
+
 // BenchmarkOracleWarmupAllSources is the acceptance benchmark for the CSR
 // oracle: warm every stub host's row on a fresh oracle (the all-sources
 // warm-up every experiment trial performs in pickHosts).
