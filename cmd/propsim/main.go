@@ -6,16 +6,33 @@
 //	propsim -list
 //	propsim -exp fig5a [-seed 1] [-trials 3] [-scale 1.0]
 //	propsim -exp all [-scale 0.5]
+//
+// Observability (DESIGN.md §8, EXPERIMENTS.md "Metrics streams"):
+//
+//	propsim -exp fig5a -metrics -metrics-out fig5a.jsonl [-metrics-csv fig5a.csv]
+//	propsim -exp fig5a -metrics-wall -metrics-out fig5a.jsonl   # + wall-clock spans
+//	propsim -exp all -scale 0.5 -pprof localhost:6060           # live pprof/expvar
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/obs"
 )
+
+// liveRegistry exposes the registry of the experiment currently running to
+// the expvar endpoint, so `curl :6060/debug/vars | jq .prop_metrics` shows
+// counter totals while a long run is in flight.
+var liveRegistry atomic.Pointer[obs.Registry]
 
 func main() {
 	var (
@@ -28,6 +45,12 @@ func main() {
 		plot       = flag.Bool("plot", false, "render an ASCII chart after the table")
 		oracleRows = flag.Int("oracle-rows", 0, "cap cached latency-oracle rows per trial (0 = unbounded); use >= the overlay size or the cache thrashes")
 		oracleF32  = flag.Bool("oracle-f32", false, "store oracle rows as float32 (half the cache memory, sub-ppm rounding)")
+
+		metricsOn   = flag.Bool("metrics", false, "collect the observability metrics stream (implied by -metrics-out/-metrics-csv)")
+		metricsOut  = flag.String("metrics-out", "", "write the metrics stream as JSONL to this file ('-' = stdout)")
+		metricsCSV  = flag.String("metrics-csv", "", "write the plottable metrics records as CSV to this file")
+		metricsWall = flag.Bool("metrics-wall", false, "include wall-clock fields (span wall_ms, manifest unix_time) in the metrics stream; forfeits byte-determinism")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof and expvar (with live metrics snapshots) on this address, e.g. localhost:6060")
 	)
 	flag.Parse()
 
@@ -43,6 +66,27 @@ func main() {
 		return
 	}
 
+	if *pprofAddr != "" {
+		expvar.Publish("prop_metrics", expvar.Func(func() interface{} {
+			return liveRegistry.Load().Snapshot()
+		}))
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "propsim: pprof endpoint: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "propsim: pprof/expvar on http://%s/debug/pprof and /debug/vars\n", *pprofAddr)
+	}
+
+	collect := *metricsOn || *metricsOut != "" || *metricsCSV != "" || *metricsWall
+	jsonlW := openOut(*metricsOut, collect && *metricsOut != "")
+	csvW := openOut(*metricsCSV, collect && *metricsCSV != "")
+	defer closeOut(jsonlW)
+	defer closeOut(csvW)
+	if collect && jsonlW == nil && csvW == nil {
+		jsonlW = os.Stdout // -metrics alone streams JSONL to stdout after the tables
+	}
+
 	ids := []string{*expID}
 	if *expID == "all" {
 		ids = experiment.IDs()
@@ -51,7 +95,25 @@ func main() {
 		Seed: *seed, Trials: *trials, Scale: *scale,
 		OracleRowBudget: *oracleRows, OracleFloat32: *oracleF32,
 	}
+	firstCSV := true
 	for _, id := range ids {
+		var reg *obs.Registry
+		if collect {
+			man := obs.NewManifest(id, *seed, *trials, *scale)
+			man.Flags = map[string]string{
+				"oracle-rows": strconv.Itoa(*oracleRows),
+				"oracle-f32":  strconv.FormatBool(*oracleF32),
+			}
+			reg = obs.New(man)
+			if *metricsWall {
+				reg.EnableWallClock()
+				man.UnixTime = time.Now().Unix()
+				reg.SetManifest(man)
+			}
+			liveRegistry.Store(reg)
+		}
+		opt.Metrics = reg
+
 		start := time.Now()
 		res, err := experiment.Run(id, opt)
 		if err != nil {
@@ -79,5 +141,46 @@ func main() {
 			fmt.Fprintf(os.Stderr, "propsim: unknown format %q\n", *format)
 			os.Exit(2)
 		}
+
+		if jsonlW != nil {
+			if err := reg.WriteJSONL(jsonlW); err != nil {
+				fmt.Fprintf(os.Stderr, "propsim: metrics jsonl: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if csvW != nil {
+			emit := reg.AppendCSV
+			if firstCSV {
+				emit = reg.WriteCSV
+				firstCSV = false
+			}
+			if err := emit(csvW); err != nil {
+				fmt.Fprintf(os.Stderr, "propsim: metrics csv: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// openOut opens path for writing when enabled; "-" means stdout.
+func openOut(path string, enabled bool) *os.File {
+	if !enabled || path == "" {
+		return nil
+	}
+	if path == "-" {
+		return os.Stdout
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "propsim: %v\n", err)
+		os.Exit(1)
+	}
+	return f
+}
+
+// closeOut closes a file opened by openOut (never stdout).
+func closeOut(f *os.File) {
+	if f != nil && f != os.Stdout {
+		f.Close()
 	}
 }

@@ -16,6 +16,11 @@
 // and — because sessions are deterministic in their SessionConfig — the
 // whole run can be replayed and shrunk to a minimal reproducer (see
 // session.go and `proptrace record`/`replay`).
+//
+// The entry points are Auditor (online invariant evaluation over the
+// event stream) and the trace artifacts (Record, ReadTrace, Replay,
+// Shrink). DESIGN.md §6 lays out the testing strategy this implements;
+// EXPERIMENTS.md ("Auditing & replay") shows the workflows.
 package audit
 
 import (

@@ -10,6 +10,10 @@
 // newcomer takes the half containing its point. Neighbors are zones that
 // abut along a border of positive length; greedy routing forwards to the
 // neighbor zone nearest the target point.
+//
+// Key types: Space (the zone tiling plus routing) and Zone. The package's
+// place in the system is DESIGN.md §1; the PIS-combination experiment is
+// §2 ("combo").
 package can
 
 import (

@@ -12,6 +12,10 @@
 // used by the "combined with other recent approaches" experiments: each
 // finger entry is chosen as the physically nearest node within the finger
 // interval rather than the interval's first successor.
+//
+// Key types: Ring (identifier ring, finger tables, successor lists) and
+// LookupResult. See DESIGN.md §1 for the inventory entry and §2 for the
+// Fig. 6 experiments built on it.
 package chord
 
 import (

@@ -6,6 +6,9 @@
 // the discrete-event engine; the experiment harness supplies the actual
 // join/leave actions (overlay rewiring plus protocol registration) as
 // closures, keeping this package substrate-agnostic.
+//
+// Key types: Config (the churn window and Poisson rates) and Runner. See
+// DESIGN.md §2 ("churn") for the experiment this drives.
 package churn
 
 import (

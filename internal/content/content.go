@@ -7,6 +7,10 @@
 // survives PROP-G position exchanges untouched; what an exchange changes is
 // where in the overlay each machine sits, and therefore how far queries
 // travel.
+//
+// Key type: Catalog (placement plus flooding retrieval). See DESIGN.md §1
+// (content/replication model) and the "replication" extension in
+// EXPERIMENTS.md.
 package content
 
 import (

@@ -18,6 +18,10 @@
 // the queue tail, and the probe timer follows a Markov back-off — doubled
 // on failure, reset to INIT_TIMER on success or once it exceeds MAX_TIMER.
 // Churn resets the timer and enqueues new neighbors at the queue front.
+//
+// Key types: Protocol (one running instance over an overlay), Config, and
+// Policy (PROPG/PROPO). DESIGN.md §3 records every protocol constant and
+// the reconstruction of the paper's lost digits.
 package core
 
 import (
@@ -534,6 +538,54 @@ func (p *Protocol) emit(ev ExchangeEvent) {
 	if p.Trace != nil {
 		p.Trace(ev)
 	}
+}
+
+// BackoffSnapshot summarizes the Markov back-off state of every registered
+// node at one instant — the observability layer samples it on measurement
+// ticks to explain probe-rate dips ("back-off storms") in the time series.
+// All aggregates are integer sums over timer factors (every timer is
+// INIT_TIMER × 2^k exactly), so the snapshot is independent of map
+// iteration order and safe for the byte-determinism contract of
+// internal/obs.
+type BackoffSnapshot struct {
+	// Nodes is the number of registered nodes.
+	Nodes int
+	// BackedOff counts nodes whose timer currently exceeds INIT_TIMER.
+	BackedOff int
+	// AtMax counts nodes at the MAX_TIMER cap (MaxTimerFactor × INIT_TIMER).
+	AtMax int
+	// SumFactor is Σ timer/INIT_TIMER over all nodes; SumFactor/Nodes is the
+	// mean back-off factor (1.0 = everyone probing at full rate).
+	SumFactor int
+}
+
+// MeanFactor returns the mean timer/INIT_TIMER factor (0 with no nodes).
+func (b BackoffSnapshot) MeanFactor() float64 {
+	if b.Nodes == 0 {
+		return 0
+	}
+	return float64(b.SumFactor) / float64(b.Nodes)
+}
+
+// BackoffSnapshot captures the current timer state across all nodes.
+func (p *Protocol) BackoffSnapshot() BackoffSnapshot {
+	var bs BackoffSnapshot
+	maxMS := p.cfg.MaxTimerFactor * p.cfg.InitTimerMS
+	for _, st := range p.nodes {
+		bs.Nodes++
+		factor := int(st.timerMS / p.cfg.InitTimerMS)
+		if factor < 1 {
+			factor = 1
+		}
+		bs.SumFactor += factor
+		if st.timerMS > p.cfg.InitTimerMS {
+			bs.BackedOff++
+		}
+		if st.timerMS >= maxMS {
+			bs.AtMax++
+		}
+	}
+	return bs
 }
 
 // TimerOf exposes a node's current timer in ms (testing/analysis).

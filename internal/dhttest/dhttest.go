@@ -4,6 +4,9 @@
 // lookups that terminate at the owner, correct per-hop accounting, and
 // invariance of routing under PROP-G host swaps — so the contract is
 // encoded once and each package plugs in an adapter.
+//
+// Key types: DHT (the adapter each substrate implements) and Run (the
+// battery). See DESIGN.md §6 ("Conformance").
 package dhttest
 
 import (

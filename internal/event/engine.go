@@ -6,6 +6,10 @@
 // total order on events to be reproducible — while the experiment harness
 // achieves parallelism by running many independent engines (one per trial
 // seed) concurrently.
+//
+// Key types: Engine, Time (simulated milliseconds), and Token (handle for
+// cancellation). See DESIGN.md §1 for the engine's place in the stack;
+// observability series are stamped with this clock (DESIGN.md §8).
 package event
 
 import (

@@ -7,6 +7,11 @@
 // Result holding the same series the paper plots. Trials run in parallel —
 // each on its own physical network, overlay, and RNG stream — and are
 // averaged point-wise.
+//
+// Key types: Options — seed, trials, scale, oracle memory modes, and the
+// optional obs.Registry for the DESIGN.md §8 metrics stream — and Result.
+// The per-figure index is DESIGN.md §2; measured outcomes are in
+// EXPERIMENTS.md.
 package experiment
 
 import (
@@ -18,6 +23,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -47,6 +53,13 @@ type Options struct {
 	// Latencies round once on store (sub-ppm error at millisecond scale),
 	// so outputs may differ in the last digits from the float64 default.
 	OracleFloat32 bool
+	// Metrics, when non-nil, switches the observability layer on: the
+	// instrumented experiments (fig5*, fig6*, fig7, churn) record per-trial
+	// phase spans, sim-clock time series of the protocol/overlay/back-off
+	// state, exchange histograms, and oracle cache counters into this
+	// registry (DESIGN.md §8). Nil — the default — keeps every
+	// instrumentation site on its no-op path.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {

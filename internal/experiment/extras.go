@@ -9,6 +9,7 @@ import (
 	"repro/internal/event"
 	"repro/internal/gnutella"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -91,7 +92,7 @@ const (
 // exponentially after churn stops, while stretch recovers.
 func runChurn(opt Options) (*Result, error) {
 	perTrial, err := forEachTrial(opt.Trials, func(trial int) ([]stats.Series, error) {
-		return oneChurnTrial(opt, trialSeed(opt.Seed, trial))
+		return oneChurnTrial(opt, opt.Metrics.Trial(trial), trialSeed(opt.Seed, trial))
 	})
 	if err != nil {
 		return nil, err
@@ -110,11 +111,13 @@ func runChurn(opt Options) (*Result, error) {
 	}, nil
 }
 
-func oneChurnTrial(opt Options, seed uint64) ([]stats.Series, error) {
+func oneChurnTrial(opt Options, tr *obs.Trial, seed uint64) ([]stats.Series, error) {
+	const prefix = "churn/"
 	e, err := newEnv(opt, netsim.TSLarge(), seed)
 	if err != nil {
 		return nil, err
 	}
+	e.instrumentOracle(tr, prefix)
 	n := scaled(1000, opt.Scale, 100)
 	hosts := e.pickHosts(len(e.net.StubHosts)) // all hosts, shuffled
 	if n > len(hosts) {
@@ -176,9 +179,11 @@ func oneChurnTrial(opt Options, seed uint64) ([]stats.Series, error) {
 		pool = append(pool, host)
 		return nil
 	}
+	hookExchangeTrace(tr, prefix, p)
 	runner.Start(eng)
 
 	phys := e.meanPhysLink()
+	spSim := tr.StartSpan(prefix+"simulate", 0)
 	probeSeries := stats.Series{Label: "probes/node/min"}
 	stretchSeries := stats.Series{Label: "stretch"}
 	lastProbes := uint64(0)
@@ -193,7 +198,15 @@ func oneChurnTrial(opt Options, seed uint64) ([]stats.Series, error) {
 		}
 		probeSeries.Add(t/60000, float64(dp)/float64(nodes))
 		stretchSeries.Add(t/60000, o.Stretch(phys))
+		if tr != nil {
+			tr.Series(prefix+"probe_rate").Sample(t, float64(dp)/float64(nodes))
+			tr.Series(prefix+"stretch").Sample(t, o.Stretch(phys))
+			tr.Series(prefix+"alive_nodes").Sample(t, float64(o.NumAlive()))
+			sampleProtocol(tr, prefix, t, p, o)
+		}
 	}
+	spSim.End(churnHorizonMS)
+	recordCounterTotals(tr, prefix+"prop.", p.Counters)
 	if !o.Connected() {
 		return nil, fmt.Errorf("churn disconnected the overlay")
 	}

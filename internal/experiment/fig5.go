@@ -8,6 +8,7 @@ import (
 	"repro/internal/event"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -42,13 +43,14 @@ type gnutellaVariant struct {
 func runGnutellaSeries(opt Options, variants []gnutellaVariant) ([]stats.Series, []string, error) {
 	alog := newAuditLog(opt.Audit)
 	perTrial, err := forEachTrial(opt.Trials, func(trial int) ([]stats.Series, error) {
+		tr := opt.Metrics.Trial(trial)
 		out := make([]stats.Series, len(variants))
 		for vi, v := range variants {
 			// The environment seed is shared across a trial's variants:
 			// panels that differ only in protocol parameters then start
 			// from the identical world and overlay, as in the paper's
 			// figures, while the protocol itself gets a per-variant stream.
-			s, summary, err := oneGnutellaRun(opt, v,
+			s, summary, err := oneGnutellaRun(opt, v, tr,
 				trialSeed(opt.Seed, trial), trialSeed(opt.Seed, 1000+trial*100+vi))
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", v.label, err)
@@ -68,11 +70,16 @@ func runGnutellaSeries(opt Options, variants []gnutellaVariant) ([]stats.Series,
 // latency over time. envSeed determines the physical world, overlay, and
 // workload; runSeed drives only the protocol's randomness. The returned
 // string is the audit summary ("" unless opt.Audit).
-func oneGnutellaRun(opt Options, v gnutellaVariant, envSeed, runSeed uint64) (stats.Series, string, error) {
+func oneGnutellaRun(opt Options, v gnutellaVariant, tr *obs.Trial, envSeed, runSeed uint64) (stats.Series, string, error) {
+	prefix := v.label + "/"
+	spGen := tr.StartSpan(prefix+"gen-network", 0)
 	e, err := newEnv(opt, v.preset, envSeed)
 	if err != nil {
 		return stats.Series{}, "", err
 	}
+	e.instrumentOracle(tr, prefix)
+	spGen.End(0)
+	spBuild := tr.StartSpan(prefix+"build-overlay", 0)
 	n := scaled(v.n, opt.Scale, 50)
 	o, err := e.buildGnutella(n)
 	if err != nil {
@@ -83,6 +90,7 @@ func oneGnutellaRun(opt Options, v gnutellaVariant, envSeed, runSeed uint64) (st
 	if err != nil {
 		return stats.Series{}, "", err
 	}
+	spBuild.End(0)
 
 	cfg := core.DefaultConfig(core.PROPG)
 	cfg.NHops = v.nhops
@@ -99,14 +107,22 @@ func oneGnutellaRun(opt Options, v gnutellaVariant, envSeed, runSeed uint64) (st
 	if opt.Audit {
 		a = newRunAuditor(o, p, eng)
 	}
+	hookExchangeTrace(tr, prefix, p)
 	p.Start(eng)
 
+	spSim := tr.StartSpan(prefix+"simulate", 0)
 	series := stats.Series{Label: v.label}
 	for t := 0.0; t <= horizonMS; t += stepMS {
 		eng.RunUntil(event.Time(t))
 		mean, _ := metrics.MeanLookupLatency(lookups, metrics.FloodEval(o, nil))
 		series.Add(t/60000, mean)
+		if tr != nil {
+			tr.Series(prefix+"lookup_latency_ms").Sample(t, mean)
+			sampleProtocol(tr, prefix, t, p, o)
+		}
 	}
+	spSim.End(horizonMS)
+	recordCounterTotals(tr, prefix+"prop.", p.Counters)
 	summary, err := finishAudit(a, v.label)
 	if err != nil {
 		return stats.Series{}, "", err

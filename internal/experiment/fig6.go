@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/event"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/stats"
 )
@@ -67,11 +68,12 @@ type chordVariant struct {
 func runChordSeries(opt Options, variants []chordVariant) ([]stats.Series, []string, error) {
 	alog := newAuditLog(opt.Audit)
 	perTrial, err := forEachTrial(opt.Trials, func(trial int) ([]stats.Series, error) {
+		tr := opt.Metrics.Trial(trial)
 		out := make([]stats.Series, len(variants))
 		for vi, v := range variants {
 			// Shared environment seed per trial: identically parameterized
 			// variants start from the identical ring (see fig5.go).
-			s, summary, err := oneChordRun(opt, v,
+			s, summary, err := oneChordRun(opt, v, tr,
 				trialSeed(opt.Seed, trial), trialSeed(opt.Seed, 1000+trial*100+vi))
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", v.label, err)
@@ -90,16 +92,22 @@ func runChordSeries(opt Options, variants []chordVariant) ([]stats.Series, []str
 // oneChordRun simulates PROP-G over a Chord ring and samples routing
 // stretch. envSeed fixes the world, ring, and workload; runSeed drives the
 // protocol. The returned string is the audit summary ("" unless opt.Audit).
-func oneChordRun(opt Options, v chordVariant, envSeed, runSeed uint64) (stats.Series, string, error) {
+func oneChordRun(opt Options, v chordVariant, tr *obs.Trial, envSeed, runSeed uint64) (stats.Series, string, error) {
+	prefix := v.label + "/"
+	spGen := tr.StartSpan(prefix+"gen-network", 0)
 	e, err := newEnv(opt, v.preset, envSeed)
 	if err != nil {
 		return stats.Series{}, "", err
 	}
+	e.instrumentOracle(tr, prefix)
+	spGen.End(0)
+	spBuild := tr.StartSpan(prefix+"build-overlay", 0)
 	n := scaled(v.n, opt.Scale, 50)
 	ring, err := e.buildChord(n, false)
 	if err != nil {
 		return stats.Series{}, "", err
 	}
+	spBuild.End(0)
 
 	cfg := core.DefaultConfig(core.PROPG)
 	cfg.NHops = v.nhops
@@ -117,14 +125,23 @@ func oneChordRun(opt Options, v chordVariant, envSeed, runSeed uint64) (stats.Se
 		a = newRunAuditor(ring.O, p, eng,
 			audit.Check("chord-wellformed", ring.CheckInvariants))
 	}
+	hookExchangeTrace(tr, prefix, p)
 	p.Start(eng)
 
 	lookups := makeChordWorkload(ring, scaled(paperLookups, opt.Scale, 100), e.r.Split())
+	spSim := tr.StartSpan(prefix+"simulate", 0)
 	series := stats.Series{Label: v.label}
 	for t := 0.0; t <= horizonMS; t += stepMS {
 		eng.RunUntil(event.Time(t))
-		series.Add(t/60000, routingStretch(ring, e, lookups))
+		stretch := routingStretch(ring, e, lookups)
+		series.Add(t/60000, stretch)
+		if tr != nil {
+			tr.Series(prefix+"stretch").Sample(t, stretch)
+			sampleProtocol(tr, prefix, t, p, ring.O)
+		}
 	}
+	spSim.End(horizonMS)
+	recordCounterTotals(tr, prefix+"prop.", p.Counters)
 	summary, err := finishAudit(a, v.label)
 	if err != nil {
 		return stats.Series{}, "", err

@@ -9,6 +9,7 @@ import (
 	"repro/internal/ltm"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/overlay"
 	"repro/internal/rng"
 	"repro/internal/stats"
@@ -29,34 +30,59 @@ const fig7HorizonMS = 15 * 60000
 // fig7Policy names one curve.
 type fig7Policy struct {
 	label string
-	// optimize runs the policy over the overlay for the standard horizon.
-	optimize func(o *overlay.Overlay, r *rng.Rand) error
+	// optimize runs the policy over the overlay for the standard horizon,
+	// recording its loop activity into tr (nil = instrumentation off) under
+	// the given label prefix.
+	optimize func(o *overlay.Overlay, r *rng.Rand, tr *obs.Trial, label string) error
 }
 
-func propPolicy(policy core.Policy, m int) func(*overlay.Overlay, *rng.Rand) error {
-	return func(o *overlay.Overlay, r *rng.Rand) error {
+// fig7SampleStepMS is the metric-sampling cadence of the optimization
+// phase; sampling only happens when instrumentation is on, and running the
+// engine to the horizon in steps executes the identical event sequence.
+const fig7SampleStepMS = 60000
+
+func propPolicy(policy core.Policy, m int) func(*overlay.Overlay, *rng.Rand, *obs.Trial, string) error {
+	return func(o *overlay.Overlay, r *rng.Rand, tr *obs.Trial, label string) error {
 		cfg := core.DefaultConfig(policy)
 		cfg.M = m
 		p, err := core.New(o, cfg, r)
 		if err != nil {
 			return err
 		}
+		prefix := label + "/"
+		hookExchangeTrace(tr, prefix, p)
 		e := event.New()
 		p.Start(e)
-		e.RunUntil(fig7HorizonMS)
+		sp := tr.StartSpan(prefix+"optimize", 0)
+		for t := 0.0; t <= fig7HorizonMS; t += fig7SampleStepMS {
+			e.RunUntil(event.Time(t))
+			sampleProtocol(tr, prefix, t, p, o)
+		}
+		sp.End(fig7HorizonMS)
+		recordCounterTotals(tr, prefix+"prop.", p.Counters)
 		return nil
 	}
 }
 
-func ltmPolicy() func(*overlay.Overlay, *rng.Rand) error {
-	return func(o *overlay.Overlay, r *rng.Rand) error {
+func ltmPolicy() func(*overlay.Overlay, *rng.Rand, *obs.Trial, string) error {
+	return func(o *overlay.Overlay, r *rng.Rand, tr *obs.Trial, label string) error {
 		p, err := ltm.New(o, ltm.DefaultConfig(), r)
 		if err != nil {
 			return err
 		}
+		prefix := label + "/"
 		e := event.New()
 		p.Start(e)
-		e.RunUntil(fig7HorizonMS)
+		sp := tr.StartSpan(prefix+"optimize", 0)
+		for t := 0.0; t <= fig7HorizonMS; t += fig7SampleStepMS {
+			e.RunUntil(event.Time(t))
+			if tr != nil {
+				sampleMessageCounters(tr, prefix+"ltm.", t, p.Counters)
+				sampleOverlayStats(tr, prefix, t, o)
+			}
+		}
+		sp.End(fig7HorizonMS)
+		recordCounterTotals(tr, prefix+"ltm.", p.Counters)
 		return nil
 	}
 }
@@ -76,7 +102,7 @@ func runFig7(opt Options) (*Result, error) {
 	}
 
 	perTrial, err := forEachTrial(opt.Trials, func(trial int) ([]stats.Series, error) {
-		return oneFig7Trial(opt, policies, trialSeed(opt.Seed, trial))
+		return oneFig7Trial(opt, policies, opt.Metrics.Trial(trial), trialSeed(opt.Seed, trial))
 	})
 	if err != nil {
 		return nil, err
@@ -96,11 +122,12 @@ func runFig7(opt Options) (*Result, error) {
 	}, nil
 }
 
-func oneFig7Trial(opt Options, policies []fig7Policy, seed uint64) ([]stats.Series, error) {
+func oneFig7Trial(opt Options, policies []fig7Policy, tr *obs.Trial, seed uint64) ([]stats.Series, error) {
 	e, err := newEnv(opt, netsim.TSLarge(), seed)
 	if err != nil {
 		return nil, err
 	}
+	e.instrumentOracle(tr, "fig7/")
 	n := scaled(1000, opt.Scale, 100)
 	base, err := e.buildGnutella(n)
 	if err != nil {
@@ -152,7 +179,7 @@ func oneFig7Trial(opt Options, policies []fig7Policy, seed uint64) ([]stats.Seri
 		if err != nil {
 			return nil, err
 		}
-		if err := pol.optimize(oc, e.r.Split()); err != nil {
+		if err := pol.optimize(oc, e.r.Split(), tr, pol.label); err != nil {
 			return nil, fmt.Errorf("%s: %w", pol.label, err)
 		}
 		s := stats.Series{Label: pol.label}

@@ -10,6 +10,9 @@
 // the earliest joiners are the best-connected. The Fig. 7 heterogeneity
 // experiment additionally exploits that correlation by declaring the
 // highest-degree peers "fast".
+//
+// Entry points: Build, Join, Leave, and the TTL flood-traffic accounting
+// (FloodStats). See DESIGN.md §1.
 package gnutella
 
 import (

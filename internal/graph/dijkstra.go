@@ -25,7 +25,7 @@ func (g *Graph) ShortestPathTree(src int) (dist []float64, prev []int) {
 	return g.Frozen().ShortestPathTree(src)
 }
 
-// ShortestPathsBaseline is the pre-CSR Dijkstra over the adjacency maps
+// ShortestPathsBaseline is the pre-CSR Dijkstra over the adjacency lists
 // with a container/heap binary heap. It is retained as an independent
 // reference implementation for property tests and as the "before" kernel in
 // the internal/netsim warm-up benchmarks; hot paths should use
@@ -58,13 +58,13 @@ func (g *Graph) shortestPaths(src int, wantPrev bool) ([]float64, []int) {
 		if item.d > dist[item.v] {
 			continue // stale entry
 		}
-		for v, w := range g.adj[item.v] {
-			if nd := item.d + w; nd < dist[v] {
-				dist[v] = nd
+		for _, e := range g.adj[item.v] {
+			if nd := item.d + e.w; nd < dist[e.to] {
+				dist[e.to] = nd
 				if wantPrev {
-					prev[v] = item.v
+					prev[e.to] = item.v
 				}
-				heap.Push(pq, distItem{v: v, d: nd})
+				heap.Push(pq, distItem{v: e.to, d: nd})
 			}
 		}
 	}
@@ -139,9 +139,9 @@ func (g *Graph) BellmanFord(src int) []float64 {
 			if math.IsInf(dist[u], 1) {
 				continue
 			}
-			for v, w := range g.adj[u] {
-				if nd := dist[u] + w; nd < dist[v] {
-					dist[v] = nd
+			for _, e := range g.adj[u] {
+				if nd := dist[u] + e.w; nd < dist[e.to] {
+					dist[e.to] = nd
 					changed = true
 				}
 			}

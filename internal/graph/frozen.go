@@ -63,17 +63,13 @@ func (g *Graph) Freeze() *Frozen {
 	for u := 0; u < n; u++ {
 		f.off[u+1] = f.off[u] + int32(len(g.adj[u]))
 	}
+	// Adjacency lists are already sorted by neighbor ID, so CSR rows are a
+	// straight copy.
 	for u := 0; u < n; u++ {
-		lo, hi := f.off[u], f.off[u+1]
-		row := f.nbr[lo:hi]
-		i := 0
-		for v := range g.adj[u] {
-			row[i] = int32(v)
-			i++
-		}
-		sortInt32(row)
-		for i, v := range row {
-			f.wt[int(lo)+i] = g.adj[u][int(v)]
+		lo := f.off[u]
+		for i, e := range g.adj[u] {
+			f.nbr[int(lo)+i] = int32(e.to)
+			f.wt[int(lo)+i] = e.w
 		}
 	}
 	f.scratch.New = func() interface{} {
@@ -407,21 +403,4 @@ func (f *Frozen) HopDistance(u, v int) int {
 		}
 	}
 	return -1
-}
-
-// sortInt32 is an insertion/shell sort tuned for the short, nearly-ordered
-// neighbor rows produced by map iteration — no interface boxing, no
-// reflection, no allocations.
-func sortInt32(a []int32) {
-	for gap := len(a) / 2; gap > 0; gap /= 2 {
-		for i := gap; i < len(a); i++ {
-			v := a[i]
-			j := i
-			for j >= gap && a[j-gap] > v {
-				a[j] = a[j-gap]
-				j -= gap
-			}
-			a[j] = v
-		}
-	}
 }

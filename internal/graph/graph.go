@@ -8,6 +8,10 @@
 // single-source shortest paths (Dijkstra), connectivity checks (Theorem 1,
 // connectivity persistence), degree sequences (PROP-O degree preservation),
 // and isomorphism-under-relabeling verification (Theorem 2).
+//
+// Key types: Graph (mutable sorted adjacency lists, right for construction
+// and edge churn) and Frozen (the immutable CSR traversal view). DESIGN.md
+// §7 explains the freeze-after-construction contract and the kernel design.
 package graph
 
 import (
@@ -15,12 +19,27 @@ import (
 	"sort"
 )
 
+// halfEdge is one directed half of an undirected edge: the neighbor it
+// leads to and the edge weight.
+type halfEdge struct {
+	to int
+	w  float64
+}
+
 // Graph is a weighted undirected multigraph-free graph over vertices
 // 0..NumVertices-1. The zero value is an empty graph; grow it with
 // AddVertex/AddEdge.
+//
+// Adjacency lists are kept sorted by neighbor ID, so every traversal
+// (VisitNeighbors, Edges, the search kernels) sees neighbors in ascending
+// order — deterministic regardless of edge insertion order. Observability
+// leans on this: deterministic traversal keeps Dijkstra relaxation counts,
+// and with them the oracle's metric counters, a pure function of the seed
+// (DESIGN.md §8). Lookups cost O(log deg), mutations O(deg); P2P overlay
+// degrees are small constants, and the hot paths iterate rather than probe.
 type Graph struct {
-	adj []map[int]float64 // adj[u][v] = weight of edge {u,v}
-	m   int               // number of edges
+	adj [][]halfEdge // adj[u], sorted by neighbor ID
+	m   int          // number of edges
 
 	// frozen caches the CSR view built by Frozen(); every mutation clears
 	// it. Atomic so concurrent readers of a static graph never race the
@@ -30,11 +49,38 @@ type Graph struct {
 
 // New returns a graph with n isolated vertices.
 func New(n int) *Graph {
-	g := &Graph{adj: make([]map[int]float64, n)}
-	for i := range g.adj {
-		g.adj[i] = make(map[int]float64)
+	return &Graph{adj: make([][]halfEdge, n)}
+}
+
+// findHalf locates v in the sorted list, returning its index and whether it
+// is present; absent, the index is v's insertion point.
+func findHalf(list []halfEdge, v int) (int, bool) {
+	i := sort.Search(len(list), func(k int) bool { return list[k].to >= v })
+	return i, i < len(list) && list[i].to == v
+}
+
+// setHalf inserts or overwrites the half-edge to v, keeping the list
+// sorted. It reports whether the edge already existed.
+func setHalf(list []halfEdge, v int, w float64) ([]halfEdge, bool) {
+	i, ok := findHalf(list, v)
+	if ok {
+		list[i].w = w
+		return list, true
 	}
-	return g
+	list = append(list, halfEdge{})
+	copy(list[i+1:], list[i:])
+	list[i] = halfEdge{to: v, w: w}
+	return list, false
+}
+
+// dropHalf removes the half-edge to v, reporting whether it existed.
+func dropHalf(list []halfEdge, v int) ([]halfEdge, bool) {
+	i, ok := findHalf(list, v)
+	if !ok {
+		return list, false
+	}
+	copy(list[i:], list[i+1:])
+	return list[:len(list)-1], true
 }
 
 // NumVertices reports the number of vertices.
@@ -45,7 +91,7 @@ func (g *Graph) NumEdges() int { return g.m }
 
 // AddVertex appends a new isolated vertex and returns its ID.
 func (g *Graph) AddVertex() int {
-	g.adj = append(g.adj, make(map[int]float64))
+	g.adj = append(g.adj, nil)
 	g.invalidateFrozen()
 	return len(g.adj) - 1
 }
@@ -66,11 +112,12 @@ func (g *Graph) AddEdge(u, v int, w float64) error {
 	if w < 0 {
 		return fmt.Errorf("graph: negative weight %v on edge {%d,%d}", w, u, v)
 	}
-	if _, exists := g.adj[u][v]; !exists {
+	var existed bool
+	g.adj[u], existed = setHalf(g.adj[u], v, w)
+	g.adj[v], _ = setHalf(g.adj[v], u, w)
+	if !existed {
 		g.m++
 	}
-	g.adj[u][v] = w
-	g.adj[v][u] = w
 	g.invalidateFrozen()
 	return nil
 }
@@ -89,11 +136,11 @@ func (g *Graph) RemoveEdge(u, v int) bool {
 	if u < 0 || v < 0 || u >= len(g.adj) || v >= len(g.adj) {
 		return false
 	}
-	if _, ok := g.adj[u][v]; !ok {
+	var ok bool
+	if g.adj[u], ok = dropHalf(g.adj[u], v); !ok {
 		return false
 	}
-	delete(g.adj[u], v)
-	delete(g.adj[v], u)
+	g.adj[v], _ = dropHalf(g.adj[v], u)
 	g.m--
 	g.invalidateFrozen()
 	return true
@@ -104,7 +151,7 @@ func (g *Graph) HasEdge(u, v int) bool {
 	if u < 0 || u >= len(g.adj) {
 		return false
 	}
-	_, ok := g.adj[u][v]
+	_, ok := findHalf(g.adj[u], v)
 	return ok
 }
 
@@ -113,8 +160,11 @@ func (g *Graph) Weight(u, v int) (float64, bool) {
 	if u < 0 || u >= len(g.adj) {
 		return 0, false
 	}
-	w, ok := g.adj[u][v]
-	return w, ok
+	i, ok := findHalf(g.adj[u], v)
+	if !ok {
+		return 0, false
+	}
+	return g.adj[u][i].w, true
 }
 
 // Degree returns the degree of vertex u.
@@ -132,21 +182,24 @@ func (g *Graph) Neighbors(u int) []int {
 		return nil
 	}
 	out := make([]int, 0, len(g.adj[u]))
-	for v := range g.adj[u] {
-		out = append(out, v)
+	for _, e := range g.adj[u] {
+		out = append(out, e.to)
 	}
-	sort.Ints(out)
 	return out
 }
 
-// VisitNeighbors calls f for every neighbor of u (in unspecified order) with
-// the edge weight. Iteration stops early if f returns false.
+// VisitNeighbors calls f for every neighbor of u, in ascending neighbor
+// order, with the edge weight. Iteration stops early if f returns false.
+// The deterministic order is load-bearing: search kernels built on it
+// (overlay flooding, the baseline Dijkstras) settle equal-distance vertices
+// identically on every run, which the byte-deterministic metrics streams
+// rely on (DESIGN.md §8).
 func (g *Graph) VisitNeighbors(u int, f func(v int, w float64) bool) {
 	if u < 0 || u >= len(g.adj) {
 		return
 	}
-	for v, w := range g.adj[u] {
-		if !f(v, w) {
+	for _, e := range g.adj[u] {
+		if !f(e.to, e.w) {
 			return
 		}
 	}
@@ -158,22 +211,17 @@ type Edge struct {
 	W    float64
 }
 
-// Edges returns every edge exactly once, sorted by (U, V).
+// Edges returns every edge exactly once, sorted by (U, V). The adjacency
+// lists are already sorted, so this is a single ordered sweep.
 func (g *Graph) Edges() []Edge {
 	out := make([]Edge, 0, g.m)
 	for u := range g.adj {
-		for v, w := range g.adj[u] {
-			if u < v {
-				out = append(out, Edge{U: u, V: v, W: w})
+		for _, e := range g.adj[u] {
+			if u < e.to {
+				out = append(out, Edge{U: u, V: e.to, W: e.w})
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].U != out[j].U {
-			return out[i].U < out[j].U
-		}
-		return out[i].V < out[j].V
-	})
 	return out
 }
 
@@ -182,9 +230,7 @@ func (g *Graph) Clone() *Graph {
 	c := New(len(g.adj))
 	c.m = g.m
 	for u, nbrs := range g.adj {
-		for v, w := range nbrs {
-			c.adj[u][v] = w
-		}
+		c.adj[u] = append([]halfEdge(nil), nbrs...)
 	}
 	return c
 }
@@ -228,9 +274,9 @@ func (g *Graph) AverageDegree() float64 {
 func (g *Graph) TotalWeight() float64 {
 	total := 0.0
 	for u, nbrs := range g.adj {
-		for v, w := range nbrs {
-			if u < v {
-				total += w
+		for _, e := range nbrs {
+			if u < e.to {
+				total += e.w
 			}
 		}
 	}
@@ -278,10 +324,10 @@ func (g *Graph) Component(start int) []int {
 		u := queue[0]
 		queue = queue[1:]
 		order = append(order, u)
-		for v := range g.adj[u] {
-			if !visited[v] {
-				visited[v] = true
-				queue = append(queue, v)
+		for _, e := range g.adj[u] {
+			if !visited[e.to] {
+				visited[e.to] = true
+				queue = append(queue, e.to)
 			}
 		}
 	}
@@ -302,10 +348,10 @@ func (g *Graph) ComponentCount() int {
 		for len(stack) > 0 {
 			u := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			for v := range g.adj[u] {
-				if !visited[v] {
-					visited[v] = true
-					stack = append(stack, v)
+			for _, e := range g.adj[u] {
+				if !visited[e.to] {
+					visited[e.to] = true
+					stack = append(stack, e.to)
 				}
 			}
 		}
@@ -331,13 +377,13 @@ func (g *Graph) HopDistance(u, v int) int {
 	for len(queue) > 0 {
 		x := queue[0]
 		queue = queue[1:]
-		for y := range g.adj[x] {
-			if dist[y] < 0 {
-				dist[y] = dist[x] + 1
-				if y == v {
-					return dist[y]
+		for _, e := range g.adj[x] {
+			if dist[e.to] < 0 {
+				dist[e.to] = dist[x] + 1
+				if e.to == v {
+					return dist[e.to]
 				}
-				queue = append(queue, y)
+				queue = append(queue, e.to)
 			}
 		}
 	}
@@ -370,16 +416,16 @@ func IsomorphicUnderMapping(g, h *Graph, phi []int) error {
 		return fmt.Errorf("graph: edge counts differ: %d vs %d", g.NumEdges(), h.NumEdges())
 	}
 	for u := range g.adj {
-		for v, w := range g.adj[u] {
-			if u > v {
+		for _, e := range g.adj[u] {
+			if u > e.to {
 				continue
 			}
-			hw, ok := h.Weight(phi[u], phi[v])
+			hw, ok := h.Weight(phi[u], phi[e.to])
 			if !ok {
-				return fmt.Errorf("graph: edge {%d,%d} has no image {%d,%d}", u, v, phi[u], phi[v])
+				return fmt.Errorf("graph: edge {%d,%d} has no image {%d,%d}", u, e.to, phi[u], phi[e.to])
 			}
-			if hw != w {
-				return fmt.Errorf("graph: edge {%d,%d} weight %v maps to weight %v", u, v, w, hw)
+			if hw != e.w {
+				return fmt.Errorf("graph: edge {%d,%d} weight %v maps to weight %v", u, e.to, e.w, hw)
 			}
 		}
 	}

@@ -13,6 +13,9 @@
 // lookups and hold more connections; AssignByDegree therefore marks the
 // machines currently backing the highest-degree slots as fast (matching the
 // preferential-attachment overlays, where early joiners are hubs).
+//
+// Key types: Config and Model (host → processing delay). See DESIGN.md §1
+// and the Fig. 7 row of §2.
 package hetero
 
 import (

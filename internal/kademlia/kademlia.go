@@ -16,6 +16,9 @@
 // distance in [2^i, 2^(i+1))). Lookups greedily hop to the known contact
 // closest to the key in XOR distance; with globally converged buckets this
 // always terminates at the key's true owner.
+//
+// Key types: Net (the k-bucket routing state) and LookupResult. See
+// DESIGN.md §1.
 package kademlia
 
 import (

@@ -16,6 +16,9 @@
 // cache cannot resolve the role (a second exchange raced the redirect), the
 // sender re-resolves against its updated routing entry — the paper's
 // neighbor-notification path — and the lookup continues.
+//
+// Key types: Sim and Summary. See DESIGN.md §6 (failure injection) and the
+// "inflight" experiment in EXPERIMENTS.md.
 package livesim
 
 import (

@@ -9,6 +9,9 @@
 // peer can freely cut and add connections", and its free rewiring does NOT
 // preserve node degrees — the exact property the paper contrasts PROP-O
 // against in Fig. 7.
+//
+// Key types: Protocol and Config. See DESIGN.md §4 for the baseline
+// reconstruction and §2 for the Fig. 7 comparison.
 package ltm
 
 import (

@@ -5,6 +5,10 @@
 // Lookup evaluation fans out across goroutines — each lookup is independent
 // — and writes results by index so that the final reduction is a
 // deterministic sequential sum regardless of scheduling.
+//
+// Entry points: MeanLookupLatency, AverageLatency, and the Counters struct
+// the protocols tally into. See DESIGN.md §2 for which experiment consumes
+// which quantity.
 package metrics
 
 import (

@@ -7,7 +7,26 @@ import (
 	"sync/atomic"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
+
+// oracleInstr holds the observability hookup of one oracle (DESIGN.md §8).
+// The pointer-to-struct indirection keeps the disabled path down to one
+// predictable nil check on the Latency fast path.
+type oracleInstr struct {
+	// queries counts Latency point queries.
+	queries *obs.Counter
+	// hits counts point queries answered from an already-cached row.
+	// Scheduling-dependent under concurrent warm-up (whichever row lands
+	// first serves the symmetric pair), so it is excluded from the
+	// byte-determinism contract; queries and computes are deterministic.
+	hits *obs.Counter
+	// computes counts Dijkstra row computations (cold misses + bounded-mode
+	// recomputes after eviction).
+	computes *obs.Counter
+	// evictions counts bounded-mode row evictions.
+	evictions *obs.Counter
+}
 
 // OracleOptions selects the oracle's row representation and memory policy.
 // The zero value is the full-precision, unbounded mode every experiment
@@ -39,8 +58,9 @@ type OracleOptions struct {
 // pointers, so the read path is lock-free in every mode; only admission
 // and eviction in the memory-bounded mode take a lock.
 type Oracle struct {
-	fz  *graph.Frozen
-	opt OracleOptions
+	fz    *graph.Frozen
+	opt   OracleOptions
+	instr *oracleInstr // nil unless SetInstruments was called
 
 	rows   []atomic.Pointer[[]float64] // full-precision mode
 	rows32 []atomic.Pointer[[]float32] // Float32 mode
@@ -92,6 +112,20 @@ func NewOracleWith(net *Network, opt OracleOptions) *Oracle {
 // NumNodes reports the number of physical nodes the oracle covers.
 func (o *Oracle) NumNodes() int { return o.fz.NumVertices() }
 
+// SetInstruments attaches obs counters for cache activity: point queries,
+// cached-row hits, Dijkstra row computations, and bounded-mode evictions.
+// Any counter may be nil (obs counters are nil-safe); calling with all nils
+// — or never calling — keeps the hot path at a single nil check. Attach
+// before sharing the oracle across goroutines: the field itself is not
+// synchronized.
+func (o *Oracle) SetInstruments(queries, hits, computes, evictions *obs.Counter) {
+	if queries == nil && hits == nil && computes == nil && evictions == nil {
+		o.instr = nil
+		return
+	}
+	o.instr = &oracleInstr{queries: queries, hits: hits, computes: computes, evictions: evictions}
+}
+
 // Latency returns the physical shortest-path latency from u to v in
 // milliseconds. It panics if either endpoint is out of range (the caller
 // owns node IDs; an out-of-range ID is a programming error, not an
@@ -101,6 +135,9 @@ func (o *Oracle) Latency(u, v int) float64 {
 	if u < 0 || u >= n || v < 0 || v >= n {
 		panic(fmt.Sprintf("netsim: latency query (%d,%d) out of range [0,%d)", u, v, n))
 	}
+	if o.instr != nil {
+		o.instr.queries.Add(1)
+	}
 	if u == v {
 		return 0
 	}
@@ -108,16 +145,20 @@ func (o *Oracle) Latency(u, v int) float64 {
 	// symmetric in an undirected graph.
 	if o.opt.Float32 {
 		if p := o.rows32[u].Load(); p != nil {
+			o.hit()
 			return float64((*p)[v])
 		}
 		if p := o.rows32[v].Load(); p != nil {
+			o.hit()
 			return float64((*p)[u])
 		}
 	} else {
 		if p := o.rows[u].Load(); p != nil {
+			o.hit()
 			return (*p)[v]
 		}
 		if p := o.rows[v].Load(); p != nil {
+			o.hit()
 			return (*p)[u]
 		}
 	}
@@ -181,9 +222,19 @@ func (o *Oracle) store(src int, r64 []float64, r32 []float32) {
 	o.cached.Add(1)
 }
 
+// hit records a cached-row answer when instrumented.
+func (o *Oracle) hit() {
+	if o.instr != nil {
+		o.instr.hits.Add(1)
+	}
+}
+
 // compute runs one Dijkstra from src on the frozen CSR view into a fresh
 // row of the mode's representation.
 func (o *Oracle) compute(src int) (r64 []float64, r32 []float32) {
+	if o.instr != nil {
+		o.instr.computes.Add(1)
+	}
 	if o.opt.Float32 {
 		r32 = make([]float32, o.fz.NumVertices())
 		o.fz.ShortestPathsF32Into(src, r32)
@@ -239,6 +290,9 @@ func (o *Oracle) ensure(src int) (*[]float64, *[]float32) {
 			o.rows[victim].Store(nil)
 		}
 		o.cached.Add(-1)
+		if o.instr != nil {
+			o.instr.evictions.Add(1)
+		}
 	}
 	o.store(src, r64, r32)
 	tail := o.head + o.live

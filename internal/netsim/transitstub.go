@@ -9,6 +9,10 @@
 // router, a number of stub domains (denser local networks of end hosts).
 // Overlay peers are placed on stub hosts; the latency between any two peers
 // is the shortest path through the physical graph.
+//
+// Key types: Config (the ts-large/ts-small presets), Network, and Oracle
+// (oracle.go; its observability counters are part of DESIGN.md §8). The
+// inventory entry is DESIGN.md §1.
 package netsim
 
 import (

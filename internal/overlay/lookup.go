@@ -161,6 +161,13 @@ func (o *Overlay) FloodLatenciesInto(src int, proc ProcDelayFunc, dist []float64
 // the same shape as internal/graph's frozen kernel heap, duplicated here
 // because it indexes overlay slots rather than CSR vertices and Go offers
 // no zero-cost generic bridge between the two hot loops.
+//
+// Comparisons are by distance alone, yet floodRun's settle order — and with
+// it the number of edge relaxations before an early exit — is deterministic:
+// graph.Graph's sorted adjacency lists make VisitNeighbors, and therefore
+// the heap's operation sequence, a pure function of the graph. Observability
+// depends on this: oracle query counts feed the byte-deterministic metrics
+// stream (DESIGN.md §8).
 
 func heapPushSlot(heap []int32, pos []int32, dist []float64, v int32) []int32 {
 	heap = append(heap, v)
@@ -222,8 +229,9 @@ func heapSiftDownSlot(heap []int32, pos []int32, dist []float64, i int32) {
 		if minD >= d {
 			break
 		}
-		heap[i] = heap[min]
-		pos[heap[i]] = i
+		mv := heap[min]
+		heap[i] = mv
+		pos[mv] = i
 		i = min
 	}
 	heap[i] = v

@@ -14,11 +14,14 @@
 //   - PROP-O ("exchange m neighbors each") is ExchangeNeighbors(u, v, A, B):
 //     a degree-preserving rewiring that never touches edges on the probing
 //     walk path, so Theorem 1 (connectivity persistence) holds.
+//
+// Key types: Overlay (slots, hosts, the logical graph) and Stats (exchange
+// outcome counters sampled by the observability layer, DESIGN.md §8). The
+// slot/host model is DESIGN.md §1; flooding lookup lives in lookup.go.
 package overlay
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 
 	"repro/internal/graph"
@@ -29,12 +32,34 @@ import (
 // hosts. netsim.Oracle.Latency satisfies this signature.
 type LatencyFunc func(hostA, hostB int) float64
 
+// Stats tallies the overlay's topology mutations for the observability
+// layer (DESIGN.md §8). Mutations run on the single-threaded simulation
+// engine, so plain integers suffice; the experiment harness samples the
+// struct on sim-clock ticks to build accept/reject time series.
+type Stats struct {
+	// Swaps counts executed PROP-G host swaps.
+	Swaps uint64
+	// SwapsRejected counts SwapHosts calls refused by validation.
+	SwapsRejected uint64
+	// NeighborExchanges counts executed PROP-O trades.
+	NeighborExchanges uint64
+	// ExchangesRejected counts ExchangeNeighbors calls refused by the §3.1
+	// constraint checks (dead/duplicate/adjacent/on-path neighbors).
+	ExchangesRejected uint64
+	// EdgesRewired counts logical edges moved by executed trades (give +
+	// take per accepted exchange).
+	EdgesRewired uint64
+}
+
 // Overlay is a logical topology mapped onto physical hosts.
 type Overlay struct {
 	// Logical is the overlay graph over slots. Edge weights are fixed at 1;
 	// latency is always derived from the host mapping, never stored in the
 	// graph (it would go stale on every exchange).
 	Logical *graph.Graph
+
+	// Stats accumulates mutation counts; see Stats.
+	Stats Stats
 
 	hostOf     []int       // slot -> physical host, -1 for dead slots
 	slotOfHost map[int]int // physical host -> slot
@@ -168,14 +193,17 @@ func (o *Overlay) Degree(u int) int { return o.Logical.Degree(u) }
 // is defined in terms of slots) is untouched.
 func (o *Overlay) SwapHosts(u, v int) error {
 	if !o.Alive(u) || !o.Alive(v) {
+		o.Stats.SwapsRejected++
 		return fmt.Errorf("overlay: SwapHosts(%d,%d) on dead slot", u, v)
 	}
 	if u == v {
+		o.Stats.SwapsRejected++
 		return fmt.Errorf("overlay: SwapHosts with identical slots %d", u)
 	}
 	hu, hv := o.hostOf[u], o.hostOf[v]
 	o.hostOf[u], o.hostOf[v] = hv, hu
 	o.slotOfHost[hu], o.slotOfHost[hv] = v, u
+	o.Stats.Swaps++
 	return nil
 }
 
@@ -193,6 +221,18 @@ func (o *Overlay) SwapHosts(u, v int) error {
 // On success the edges {u,a} become {v,a} for a ∈ give and {v,b} become
 // {u,b} for b ∈ take. The operation is all-or-nothing.
 func (o *Overlay) ExchangeNeighbors(u, v int, give, take []int, forbidden []int) error {
+	if err := o.exchangeNeighbors(u, v, give, take, forbidden); err != nil {
+		o.Stats.ExchangesRejected++
+		return err
+	}
+	o.Stats.NeighborExchanges++
+	o.Stats.EdgesRewired += uint64(len(give) + len(take))
+	return nil
+}
+
+// exchangeNeighbors validates and applies the trade; ExchangeNeighbors
+// wraps it to keep the Stats accounting in one place.
+func (o *Overlay) exchangeNeighbors(u, v int, give, take []int, forbidden []int) error {
 	if !o.Alive(u) || !o.Alive(v) {
 		return fmt.Errorf("overlay: ExchangeNeighbors(%d,%d) on dead slot", u, v)
 	}
@@ -347,7 +387,8 @@ func (o *Overlay) RandomWalk(start, firstHop, ttl int, r *rng.Rand) (path []int,
 		if len(candidates) == 0 {
 			return path, false
 		}
-		sort.Ints(candidates) // determinism: map iteration order is random
+		// candidates are in ascending slot order (VisitNeighbors guarantees
+		// it), so the draw below is deterministic in the walk RNG.
 		cur = candidates[r.Intn(len(candidates))]
 		onPath[cur] = true
 		path = append(path, cur)
@@ -497,6 +538,7 @@ func (o *Overlay) CheckInvariants() error {
 func (o *Overlay) Clone() *Overlay {
 	c := &Overlay{
 		Logical:    o.Logical.Clone(),
+		Stats:      o.Stats,
 		hostOf:     append([]int(nil), o.hostOf...),
 		slotOfHost: make(map[int]int, len(o.slotOfHost)),
 		alive:      append([]bool(nil), o.alive...),

@@ -17,6 +17,9 @@
 // node that shares the first r digits with the owner and has digit c at
 // position r. With Proximity enabled the physically nearest qualifying
 // candidate is chosen; otherwise the numerically first.
+//
+// Key types: Mesh (leaf sets plus prefix tables) and LookupResult. See
+// DESIGN.md §1.
 package pastry
 
 import (

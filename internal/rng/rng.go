@@ -8,6 +8,9 @@
 // state. Each Rand is a plain value type; Split derives statistically
 // independent child generators so worker goroutines never contend on a lock
 // the way math/rand's global source does.
+//
+// Key type: Rand (value semantics, Split for parallel workers). See
+// DESIGN.md §1.
 package rng
 
 import "math"

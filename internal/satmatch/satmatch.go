@@ -12,6 +12,9 @@
 // trading *existing* IDs, §4.1) and re-assigns ownership of the keyspace
 // between old and new neighbors (data movement), while PROP-G's pairwise
 // swap does neither.
+//
+// Key types: Protocol and Config. See DESIGN.md §1 (SAT-Match row) and the
+// "satmatch" extension in EXPERIMENTS.md.
 package satmatch
 
 import (

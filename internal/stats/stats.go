@@ -1,5 +1,7 @@
 // Package stats provides the summary statistics the experiment harness
 // uses to aggregate multi-seed trials into the paper's reported series.
+//
+// Key types: Series (label + points) and Summary. See DESIGN.md §1.
 package stats
 
 import (

@@ -6,6 +6,9 @@
 // mathematical object — a cycle, a binary hypercube, a complete k-ary tree,
 // a 2-d torus grid — so the PROP-G isomorphism guarantee can be exercised
 // and property-tested on every geometry the claim covers.
+//
+// Entry points: Build (by Kind) or the per-shape builders, plus Verify.
+// See DESIGN.md §1.
 package topology
 
 import (

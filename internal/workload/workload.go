@@ -3,6 +3,9 @@
 // samples, and the fast-node-skewed destination mix of Fig. 7 ("we simulate
 // this phenomenon by increasing the fraction of lookups whose destination
 // is a fast node").
+//
+// Key type: Lookup; generators Uniform (Figs. 5/6) and Skewed (Fig. 7).
+// See DESIGN.md §2.
 package workload
 
 import (
