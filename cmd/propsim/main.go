@@ -7,6 +7,12 @@
 //	propsim -exp fig5a [-seed 1] [-trials 3] [-scale 1.0]
 //	propsim -exp all [-scale 0.5]
 //
+// Robustness (DESIGN.md §9, the figR* family):
+//
+//	propsim -exp figRa -loss 0.05            # collapse the loss sweep to {0, 5%}
+//	propsim -exp figRb -crash 0.10           # collapse the crash sweep to {0, 10%}
+//	propsim -exp figRc -partition 300000     # 5-minute partition window
+//
 // Observability (DESIGN.md §8, EXPERIMENTS.md "Metrics streams"):
 //
 //	propsim -exp fig5a -metrics -metrics-out fig5a.jsonl [-metrics-csv fig5a.csv]
@@ -45,6 +51,10 @@ func main() {
 		plot       = flag.Bool("plot", false, "render an ASCII chart after the table")
 		oracleRows = flag.Int("oracle-rows", 0, "cap cached latency-oracle rows per trial (0 = unbounded); use >= the overlay size or the cache thrashes")
 		oracleF32  = flag.Bool("oracle-f32", false, "store oracle rows as float32 (half the cache memory, sub-ppm rounding)")
+
+		faultLoss  = flag.Float64("loss", 0, "figRa: pin the message-loss probability, collapsing the sweep to {0, value} (0 = default sweep)")
+		faultCrash = flag.Float64("crash", 0, "figRb: pin the crash-stop fraction, collapsing the sweep to {0, value} (0 = default sweep)")
+		faultPart  = flag.Float64("partition", 0, "figRc: partition window length in simulated ms (0 = default 15 min)")
 
 		metricsOn   = flag.Bool("metrics", false, "collect the observability metrics stream (implied by -metrics-out/-metrics-csv)")
 		metricsOut  = flag.String("metrics-out", "", "write the metrics stream as JSONL to this file ('-' = stdout)")
@@ -94,6 +104,7 @@ func main() {
 	opt := experiment.Options{
 		Seed: *seed, Trials: *trials, Scale: *scale,
 		OracleRowBudget: *oracleRows, OracleFloat32: *oracleF32,
+		FaultLoss: *faultLoss, FaultCrash: *faultCrash, FaultPartitionMS: *faultPart,
 	}
 	firstCSV := true
 	for _, id := range ids {
@@ -103,6 +114,18 @@ func main() {
 			man.Flags = map[string]string{
 				"oracle-rows": strconv.Itoa(*oracleRows),
 				"oracle-f32":  strconv.FormatBool(*oracleF32),
+			}
+			// Fault overrides enter the manifest only when set, so the
+			// fault-free experiments' streams stay byte-identical to their
+			// historical output.
+			if *faultLoss > 0 {
+				man.Flags["loss"] = strconv.FormatFloat(*faultLoss, 'g', -1, 64)
+			}
+			if *faultCrash > 0 {
+				man.Flags["crash"] = strconv.FormatFloat(*faultCrash, 'g', -1, 64)
+			}
+			if *faultPart > 0 {
+				man.Flags["partition"] = strconv.FormatFloat(*faultPart, 'g', -1, 64)
 			}
 			reg = obs.New(man)
 			if *metricsWall {

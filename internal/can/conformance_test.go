@@ -31,8 +31,10 @@ func (a dhtAdapter) Lookup(src int, key uint32, proc overlay.ProcDelayFunc) (int
 func (a dhtAdapter) Join(host int, r *rng.Rand) (int, error) {
 	return a.sp.Join(host, a.sp.JoinPointFor(host, a.lat, r), r)
 }
-func (a dhtAdapter) Leave(slot int) error   { return a.sp.Leave(slot) }
-func (a dhtAdapter) CheckInvariants() error { return a.sp.CheckInvariants() }
+func (a dhtAdapter) Leave(slot int) error        { return a.sp.Leave(slot) }
+func (a dhtAdapter) Crash(slot int) error        { return a.sp.Crash(slot) }
+func (a dhtAdapter) RepairCrashed() (int, error) { return a.sp.RepairCrashed() }
+func (a dhtAdapter) CheckInvariants() error      { return a.sp.CheckInvariants() }
 
 func TestDHTConformance(t *testing.T) {
 	dhttest.Run(t, func(hosts []int, l overlay.LatencyFunc, r *rng.Rand) (dhttest.DHT, error) {

@@ -1,0 +1,92 @@
+package can
+
+import "fmt"
+
+// Crash-stop failure handling. CAN's original paper handles failures with
+// the same takeover scheme as departures — a neighbor claims the dead zone
+// once its heartbeats stop — so RepairCrashed replays Leave's split-tree
+// surgery for every corpse. The loop processes one corpse at a time because
+// a takeover can hand a zone to a slot that is itself crashed (its repair
+// then reassigns the merged zone); each pass removes exactly one corpse, so
+// the loop terminates.
+
+// Crash kills slot crash-stop: the host is released but the zone stays
+// assigned to the corpse until RepairCrashed. The space must retain at
+// least two live nodes.
+func (sp *Space) Crash(slot int) error {
+	if _, ok := sp.leafOf[slot]; !ok || !sp.O.Alive(slot) {
+		return fmt.Errorf("can: Crash(%d): not a live member", slot)
+	}
+	if sp.O.NumAlive() <= 2 {
+		return fmt.Errorf("can: refusing to shrink below 2 nodes")
+	}
+	return sp.O.CrashSlot(slot)
+}
+
+// RepairCrashed runs failure recovery until no corpse owns a zone,
+// reassigning each dead zone per the takeover scheme. It returns the number
+// of corpses repaired.
+func (sp *Space) RepairCrashed() (int, error) {
+	repaired := 0
+	for {
+		victim := -1
+		for _, c := range sp.O.CrashedSlots() {
+			if _, owns := sp.leafOf[c]; owns {
+				victim = c
+				break
+			}
+		}
+		if victim < 0 {
+			return repaired, nil
+		}
+		if err := sp.takeover(victim); err != nil {
+			return repaired, err
+		}
+		repaired++
+	}
+}
+
+// takeover reassigns the zone of one crashed slot — Leave's surgery, minus
+// the RemoveSlot (the slot is already dead) and plus the purge of its stale
+// edges.
+func (sp *Space) takeover(slot int) error {
+	leaf := sp.leafOf[slot]
+	parent := leaf.parent
+	if parent == nil {
+		return fmt.Errorf("can: cannot take over the root owner")
+	}
+	sib := parent.kids[0]
+	if sib == leaf {
+		sib = parent.kids[1]
+	}
+	if err := sp.O.PurgeCrashed(slot); err != nil {
+		return err
+	}
+	delete(sp.leafOf, slot)
+
+	if sib.isLeaf() {
+		// Simple merge: the sibling's owner absorbs the parent rectangle.
+		taker := sib.owner
+		parent.owner = taker
+		parent.kids = [2]*treeNode{}
+		sp.leafOf[taker] = parent
+		sp.Zones[taker] = parent.zone
+		sp.relinkNeighbors(taker)
+		return nil
+	}
+	// Defragmentation: merge the deepest sibling-leaf pair under sib; the
+	// freed owner relocates into the dead zone.
+	pairParent := deepestLeafPair(sib)
+	freed := pairParent.kids[0].owner
+	absorber := pairParent.kids[1].owner
+	pairParent.owner = absorber
+	pairParent.kids = [2]*treeNode{}
+	sp.leafOf[absorber] = pairParent
+	sp.Zones[absorber] = pairParent.zone
+	leaf.owner = freed
+	sp.leafOf[freed] = leaf
+	sp.Zones[freed] = leaf.zone
+	sp.relinkNeighbors(absorber)
+	sp.relinkNeighbors(freed)
+	return nil
+}

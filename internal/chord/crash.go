@@ -1,0 +1,63 @@
+package chord
+
+import (
+	"fmt"
+
+	"repro/internal/overlay"
+)
+
+// Crash-stop failure handling. A crash differs from Leave in that nothing is
+// repaired at death time: the corpse stays in the sorted ring, successor
+// lists, and finger tables until a RepairCrashed round runs — the
+// simulator's stand-in for failure detectors timing out. Routing in the
+// interim survives because nextHop already skips dead entries and falls
+// back along the successor list.
+
+// Crash kills slot crash-stop: its host is released immediately but its
+// ring position and every reference to it go stale instead of being
+// repaired. The ring must retain at least two live nodes.
+func (ring *Ring) Crash(slot int) error {
+	if !ring.O.Alive(slot) {
+		return fmt.Errorf("chord: Crash(%d) on dead slot", slot)
+	}
+	if ring.O.NumAlive() <= 2 {
+		return fmt.Errorf("chord: refusing to shrink below 2 nodes")
+	}
+	return ring.O.CrashSlot(slot)
+}
+
+// RepairCrashed runs one failure-recovery round: every unpurged corpse is
+// dropped from the sorted ring, its tables are released, its stale edges
+// purged, and every survivor rebuilds its successor list and fingers
+// against the live membership. It returns the number of corpses repaired.
+func (ring *Ring) RepairCrashed(lat overlay.LatencyFunc) (int, error) {
+	crashed := ring.O.CrashedSlots()
+	if len(crashed) == 0 {
+		return 0, nil
+	}
+	dead := make(map[int]bool, len(crashed))
+	for _, c := range crashed {
+		dead[c] = true
+	}
+	kept := ring.sorted[:0]
+	for _, s := range ring.sorted {
+		if !dead[s] {
+			kept = append(kept, s)
+		}
+	}
+	if len(kept) < 2 {
+		return 0, fmt.Errorf("chord: repair would shrink below 2 nodes")
+	}
+	ring.sorted = kept
+	for _, c := range crashed {
+		ring.succ[c] = nil
+		ring.fingers[c] = nil
+		if err := ring.O.PurgeCrashed(c); err != nil {
+			return 0, err
+		}
+	}
+	for _, s := range ring.sorted {
+		ring.rebuildNode(s, lat)
+	}
+	return len(crashed), nil
+}

@@ -25,9 +25,13 @@ type Config struct {
 	// MeanJoinIntervalMS is the mean of the exponential inter-arrival time
 	// of joins (0 disables joins).
 	MeanJoinIntervalMS float64
-	// MeanLeaveIntervalMS is the mean inter-departure time (0 disables
-	// leaves).
+	// MeanLeaveIntervalMS is the mean inter-departure time of graceful
+	// leaves (0 disables leaves).
 	MeanLeaveIntervalMS float64
+	// MeanCrashIntervalMS is the mean inter-failure time of crash-stop
+	// deaths — departures that skip the deregistration a graceful leave
+	// performs (0 disables crashes, the historical behavior).
+	MeanCrashIntervalMS float64
 }
 
 // Validate reports the first configuration error.
@@ -35,24 +39,36 @@ func (c Config) Validate() error {
 	switch {
 	case c.StopMS < c.StartMS:
 		return fmt.Errorf("churn: window [%v,%v) inverted", c.StartMS, c.StopMS)
-	case c.MeanJoinIntervalMS < 0 || c.MeanLeaveIntervalMS < 0:
+	case c.MeanJoinIntervalMS < 0 || c.MeanLeaveIntervalMS < 0 || c.MeanCrashIntervalMS < 0:
 		return fmt.Errorf("churn: negative mean interval")
 	}
 	return nil
 }
 
-// Runner schedules churn events. OnJoin and OnLeave run inside the engine;
-// either may be nil. Errors returned by the callbacks are counted, not
+// kind is the churn event family of one Poisson process.
+type kind int
+
+const (
+	kindJoin kind = iota
+	kindLeave
+	kindCrash
+)
+
+// Runner schedules churn events. OnJoin, OnLeave, and OnCrash run inside the
+// engine; any may be nil. Errors returned by the callbacks are counted, not
 // fatal — a failed leave on an already-empty overlay is an experimental
-// condition, not a crash.
+// condition, not a bug.
 type Runner struct {
 	// OnJoin performs one node arrival.
 	OnJoin func(e *event.Engine) error
-	// OnLeave performs one node departure.
+	// OnLeave performs one graceful node departure.
 	OnLeave func(e *event.Engine) error
+	// OnCrash performs one crash-stop node death: the victim vanishes
+	// without deregistering, leaving survivors with stale references.
+	OnCrash func(e *event.Engine) error
 
-	// Joins, Leaves, Errors count what actually happened.
-	Joins, Leaves, Errors int
+	// Joins, Leaves, Crashes, Errors count what actually happened.
+	Joins, Leaves, Crashes, Errors int
 
 	cfg Config
 	r   *rng.Rand
@@ -66,21 +82,31 @@ func NewRunner(cfg Config, r *rng.Rand) (*Runner, error) {
 	return &Runner{cfg: cfg, r: r}, nil
 }
 
-// Start arms the first join and leave events.
+// Start arms the first event of each enabled Poisson process. The order —
+// joins, then leaves, then crashes — fixes the RNG draw order; crash-free
+// configs draw exactly as they did before crashes existed.
 func (ru *Runner) Start(e *event.Engine) {
 	if ru.OnJoin != nil && ru.cfg.MeanJoinIntervalMS > 0 {
-		ru.scheduleNext(e, true, ru.cfg.StartMS)
+		ru.scheduleNext(e, kindJoin, ru.cfg.StartMS)
 	}
 	if ru.OnLeave != nil && ru.cfg.MeanLeaveIntervalMS > 0 {
-		ru.scheduleNext(e, false, ru.cfg.StartMS)
+		ru.scheduleNext(e, kindLeave, ru.cfg.StartMS)
+	}
+	if ru.OnCrash != nil && ru.cfg.MeanCrashIntervalMS > 0 {
+		ru.scheduleNext(e, kindCrash, ru.cfg.StartMS)
 	}
 }
 
 // scheduleNext arms the next event of one kind after base time.
-func (ru *Runner) scheduleNext(e *event.Engine, isJoin bool, baseMS float64) {
-	mean := ru.cfg.MeanLeaveIntervalMS
-	if isJoin {
+func (ru *Runner) scheduleNext(e *event.Engine, k kind, baseMS float64) {
+	var mean float64
+	switch k {
+	case kindJoin:
 		mean = ru.cfg.MeanJoinIntervalMS
+	case kindLeave:
+		mean = ru.cfg.MeanLeaveIntervalMS
+	case kindCrash:
+		mean = ru.cfg.MeanCrashIntervalMS
 	}
 	at := baseMS + ru.r.ExpFloat64()*mean
 	if at >= ru.cfg.StopMS {
@@ -91,20 +117,26 @@ func (ru *Runner) scheduleNext(e *event.Engine, isJoin bool, baseMS float64) {
 	}
 	e.At(event.Time(at), func(en *event.Engine) {
 		var err error
-		if isJoin {
+		switch k {
+		case kindJoin:
 			err = ru.OnJoin(en)
 			if err == nil {
 				ru.Joins++
 			}
-		} else {
+		case kindLeave:
 			err = ru.OnLeave(en)
 			if err == nil {
 				ru.Leaves++
+			}
+		case kindCrash:
+			err = ru.OnCrash(en)
+			if err == nil {
+				ru.Crashes++
 			}
 		}
 		if err != nil {
 			ru.Errors++
 		}
-		ru.scheduleNext(en, isJoin, float64(en.Now()))
+		ru.scheduleNext(en, k, float64(en.Now()))
 	})
 }

@@ -29,6 +29,7 @@ import (
 	"sort"
 
 	"repro/internal/event"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/overlay"
 	"repro/internal/rng"
@@ -87,6 +88,22 @@ type Config struct {
 	// truth — only the decision is noisy, as in a real deployment. Zero
 	// (the default, and the paper's setting) means exact measurements.
 	MeasurementNoise float64
+
+	// The remaining knobs govern the hardened fault path (DESIGN.md §9) and
+	// are consulted only when an injector is attached via AttachFaults.
+
+	// ProbeTimeoutMS is how long a peer waits for a probe step to be answered
+	// before declaring the message lost and retransmitting. Zero selects the
+	// default (5000 ms — generous against the transit-stub RTT spread).
+	ProbeTimeoutMS float64
+	// MaxRetries bounds retransmissions per probe step. Zero selects the
+	// default (3); after the budget is exhausted the probe cycle fails and
+	// falls back to the Markov back-off.
+	MaxRetries int
+	// BackoffJitter desynchronizes retransmit timers: each retransmit delay
+	// is scaled by (1 + BackoffJitter·U[0,1)). Zero means no jitter; the
+	// default config uses 0.1.
+	BackoffJitter float64
 }
 
 // DefaultConfig returns the paper's parameterization for the given policy.
@@ -98,6 +115,9 @@ func DefaultConfig(policy Policy) Config {
 		InitTimerMS:    60000,
 		MaxInitTrials:  10,
 		MaxTimerFactor: 32,
+		ProbeTimeoutMS: 5000,
+		MaxRetries:     3,
+		BackoffJitter:  0.1,
 	}
 }
 
@@ -118,6 +138,12 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: MaxTimerFactor = %v, want >= 1", c.MaxTimerFactor)
 	case c.MeasurementNoise < 0:
 		return fmt.Errorf("core: MeasurementNoise = %v, want >= 0", c.MeasurementNoise)
+	case c.ProbeTimeoutMS < 0:
+		return fmt.Errorf("core: ProbeTimeoutMS = %v, want >= 0 (0 = default)", c.ProbeTimeoutMS)
+	case c.MaxRetries < 0:
+		return fmt.Errorf("core: MaxRetries = %d, want >= 0 (0 = default)", c.MaxRetries)
+	case c.BackoffJitter < 0:
+		return fmt.Errorf("core: BackoffJitter = %v, want >= 0", c.BackoffJitter)
 	}
 	return nil
 }
@@ -154,10 +180,11 @@ type Protocol struct {
 	// finest-grained protocol event).
 	Probe func(ProbeEvent)
 
-	cfg   Config
-	r     *rng.Rand
-	m     int // resolved PROP-O exchange size
-	nodes map[int]*nodeState
+	cfg    Config
+	r      *rng.Rand
+	m      int // resolved PROP-O exchange size
+	nodes  map[int]*nodeState
+	faults *faults.Injector // nil = fault-free fast path
 }
 
 type nodeState struct {
@@ -167,6 +194,11 @@ type nodeState struct {
 	timerMS float64
 	trials  int // probes executed so far (warm-up gate)
 	token   *event.Token
+	// epoch invalidates in-flight retransmit chains: it is bumped whenever
+	// the node's situation changes underneath a pending retransmit timer
+	// (neighbor churn, repair, death), so a stale timer firing later is
+	// recognized and absorbed instead of starting a second probe cycle.
+	epoch int
 }
 
 type queueEntry struct {
@@ -197,8 +229,24 @@ func New(o *overlay.Overlay, cfg Config, r *rng.Rand) (*Protocol, error) {
 			p.m = 1
 		}
 	}
+	// Resolve fault-path defaults; inert until AttachFaults.
+	if p.cfg.ProbeTimeoutMS == 0 {
+		p.cfg.ProbeTimeoutMS = 5000
+	}
+	if p.cfg.MaxRetries == 0 {
+		p.cfg.MaxRetries = 3
+	}
 	return p, nil
 }
+
+// AttachFaults opts the protocol into fault-aware operation: probe traffic
+// consults inj message by message, losses trigger timeouts and bounded
+// retransmission with exponential back-off + jitter, duplicated responses
+// are dropped by their sequence guard, and each probe cycle starts with
+// liveness eviction of crashed neighbors. A nil injector — or never calling
+// AttachFaults — keeps the historical fault-free fast path, which schedules
+// the same events and consumes the same RNG stream as pre-fault builds.
+func (p *Protocol) AttachFaults(inj *faults.Injector) { p.faults = inj }
 
 // M returns the resolved PROP-O exchange size.
 func (p *Protocol) M() int { return p.m }
@@ -245,10 +293,34 @@ func (p *Protocol) AddNode(e *event.Engine, slot int) error {
 func (p *Protocol) RemoveNode(e *event.Engine, slot int, formerNeighbors []int) {
 	if st, ok := p.nodes[slot]; ok {
 		st.token.Cancel()
+		st.epoch++
 		delete(p.nodes, slot)
 	}
 	for _, nb := range formerNeighbors {
 		p.onNeighborChange(e, nb)
+	}
+}
+
+// CrashNode withdraws a slot that died crash-stop: its pending probe (and
+// any in-flight retransmit chain) is invalidated, but — unlike RemoveNode —
+// no survivor is notified. Neighbors keep stale queue entries until their
+// own liveness eviction or a repair pass (NeighborsChanged) catches up,
+// which is exactly the asymmetry between a graceful leave and a crash.
+func (p *Protocol) CrashNode(slot int) {
+	if st, ok := p.nodes[slot]; ok {
+		st.token.Cancel()
+		st.epoch++
+		delete(p.nodes, slot)
+	}
+}
+
+// NeighborsChanged tells the protocol that an external repair pass (e.g. a
+// DHT RepairCrashed) rewired the given slots' neighborhoods: each affected
+// live node applies the §3.2 churn rule — timer reset, fresh neighbors at
+// the queue front — and any in-flight retransmit chain is invalidated.
+func (p *Protocol) NeighborsChanged(e *event.Engine, slots ...int) {
+	for _, s := range slots {
+		p.onNeighborChange(e, s)
 	}
 }
 
@@ -263,6 +335,7 @@ func (p *Protocol) onNeighborChange(e *event.Engine, slot int) {
 	}
 	st.timerMS = p.cfg.InitTimerMS
 	st.token.Cancel()
+	st.epoch++
 	st.token = e.After(event.Time(st.timerMS), func(en *event.Engine) { p.probe(en, slot) })
 }
 
@@ -333,7 +406,9 @@ func (st *nodeState) maxPrio() int {
 }
 
 // probe is one timer firing for slot u: find a partner, evaluate Var, and
-// exchange if profitable.
+// exchange if profitable. Under fault injection the cycle may span several
+// events (retransmits after lost messages); the fault-free path completes
+// synchronously, exactly as it always has.
 func (p *Protocol) probe(e *event.Engine, u int) {
 	st, ok := p.nodes[u]
 	if !ok || !p.O.Alive(u) {
@@ -341,18 +416,72 @@ func (p *Protocol) probe(e *event.Engine, u int) {
 	}
 	p.Counters.Probes++
 	st.trials++
+	if p.faults.Enabled() {
+		// Liveness eviction: contacting a crashed neighbor times out, so the
+		// node drops the stale reference before choosing a first hop.
+		if n := p.O.EvictDeadNeighbors(u); n > 0 {
+			p.Counters.Evictions += uint64(n)
+		}
+	}
 	p.reconcileQueue(st)
 
-	success := false
-	partner := -1
 	firstHopIdx := st.pickFirstHop()
-	if firstHopIdx >= 0 {
-		s := st.queue[firstHopIdx].neighbor
+	if firstHopIdx < 0 {
+		p.finishProbe(e, u, st, firstHopIdx, -1, false)
+		return
+	}
+	s := st.queue[firstHopIdx].neighbor
+	if !p.faults.Enabled() {
+		success := false
+		partner := -1
 		v, path, walked := p.findPartner(u, s)
 		if walked {
 			partner = v
 			success = p.attemptExchange(e, u, v, path)
 		}
+		p.finishProbe(e, u, st, firstHopIdx, partner, success)
+		return
+	}
+	p.probeAttempt(e, u, st, firstHopIdx, s, 0)
+}
+
+// probeAttempt is one transmission of the probe under fault injection:
+// walk + response, then — if everything arrived — the exchange evaluation.
+// A lost message times out and retransmits with exponential back-off until
+// MaxRetries is exhausted, at which point the cycle fails into the normal
+// Markov back-off. Each retransmission is a fresh packet and takes a fresh
+// random route.
+func (p *Protocol) probeAttempt(e *event.Engine, u int, st *nodeState, firstHopIdx, s, attempt int) {
+	v, path, walked := p.findPartner(u, s)
+	if !walked {
+		p.finishProbe(e, u, st, firstHopIdx, -1, false)
+		return
+	}
+	if !p.deliverWalk(e, path) {
+		p.Counters.Timeouts++
+		if attempt >= p.cfg.MaxRetries {
+			p.finishProbe(e, u, st, firstHopIdx, -1, false)
+			return
+		}
+		p.Counters.Retries++
+		myEpoch := st.epoch
+		e.After(p.retransmitDelay(attempt), func(en *event.Engine) {
+			if cur, ok := p.nodes[u]; !ok || cur != st || st.epoch != myEpoch {
+				p.Counters.StaleTimers++
+				return
+			}
+			p.probeAttempt(en, u, st, firstHopIdx, s, attempt+1)
+		})
+		return
+	}
+	success := p.attemptExchange(e, u, v, path)
+	p.finishProbe(e, u, st, firstHopIdx, v, success)
+}
+
+// finishProbe completes a probe cycle whatever its path: first-hop standing,
+// trace event, Markov timer update, and the next cycle's scheduling.
+func (p *Protocol) finishProbe(e *event.Engine, u int, st *nodeState, firstHopIdx, partner int, success bool) {
+	if firstHopIdx >= 0 {
 		// Update the first hop's standing (maintenance rule; during warm-up
 		// the rotation gives every neighbor a turn).
 		if st.trials <= p.cfg.MaxInitTrials {
@@ -380,6 +509,41 @@ func (p *Protocol) probe(e *event.Engine, u int) {
 		}
 	}
 	st.token = e.After(event.Time(st.timerMS), func(en *event.Engine) { p.probe(en, u) })
+}
+
+// deliverWalk runs the probe's messages past the injector: one forwarding
+// message per walk hop plus the partner's response back to the origin. It
+// reports whether everything arrived; duplicated messages are recognized by
+// their sequence numbers and dropped.
+func (p *Protocol) deliverWalk(e *event.Engine, path []int) bool {
+	now := float64(e.Now())
+	for i := 0; i+1 < len(path); i++ {
+		d := p.faults.Deliver(p.O.HostOf(path[i]), p.O.HostOf(path[i+1]), now)
+		if d.Lost {
+			return false
+		}
+		if d.Dup {
+			p.Counters.DupsDropped++
+		}
+	}
+	d := p.faults.Deliver(p.O.HostOf(path[len(path)-1]), p.O.HostOf(path[0]), now)
+	if d.Lost {
+		return false
+	}
+	if d.Dup {
+		p.Counters.DupsDropped++
+	}
+	return true
+}
+
+// retransmitDelay is the back-off before retransmission attempt+1:
+// ProbeTimeout × 2^attempt, scaled by the configured jitter.
+func (p *Protocol) retransmitDelay(attempt int) event.Time {
+	d := p.cfg.ProbeTimeoutMS * float64(uint64(1)<<uint(attempt))
+	if p.cfg.BackoffJitter > 0 {
+		d *= 1 + p.cfg.BackoffJitter*p.r.Float64()
+	}
+	return event.Time(d)
 }
 
 // findPartner locates the exchange counterpart: a TTL-nhops random walk
@@ -443,12 +607,73 @@ func (p *Protocol) measureSlots(u, v int) float64 {
 	return p.measureHosts(p.O.HostOf(u), p.O.HostOf(v))
 }
 
+// measureHostsFaulty is one measurement under fault injection: the probe
+// message may be lost (timeout + bounded synchronous retry — measurement
+// round-trips are far shorter than the probe timeout, so the retries
+// complete within the evaluation step) and a delivered measurement absorbs
+// the injected queueing jitter into the observed RTT. ok is false when the
+// retry budget ran out.
+func (p *Protocol) measureHostsFaulty(e *event.Engine, a, b int) (float64, bool) {
+	now := float64(e.Now())
+	for attempt := 0; ; attempt++ {
+		d := p.faults.Deliver(a, b, now)
+		if d.Lost {
+			p.Counters.Timeouts++
+			if attempt >= p.cfg.MaxRetries {
+				return 0, false
+			}
+			p.Counters.Retries++
+			continue
+		}
+		if d.Dup {
+			p.Counters.DupsDropped++
+		}
+		return p.measureHosts(a, b) + d.DelayMS, true
+	}
+}
+
+// hostMeasurer returns the host-pair measurement function for one exchange
+// evaluation. Under fault injection a failed measurement poisons the whole
+// evaluation via *failed — the exchange must never execute on incomplete
+// data, or a half-evaluated Var could corrupt the slot↔host mapping.
+func (p *Protocol) hostMeasurer(e *event.Engine, failed *bool) overlay.LatencyFunc {
+	if !p.faults.Enabled() {
+		return p.measureHosts
+	}
+	return func(a, b int) float64 {
+		if *failed {
+			return 0
+		}
+		m, ok := p.measureHostsFaulty(e, a, b)
+		if !ok {
+			*failed = true
+			return 0
+		}
+		return m
+	}
+}
+
+// slotMeasurer is hostMeasurer addressed by slots.
+func (p *Protocol) slotMeasurer(e *event.Engine, failed *bool) func(u, v int) float64 {
+	if !p.faults.Enabled() {
+		return p.measureSlots
+	}
+	measure := p.hostMeasurer(e, failed)
+	return func(u, v int) float64 {
+		return measure(p.O.HostOf(u), p.O.HostOf(v))
+	}
+}
+
 // attemptSwap is the PROP-G exchange: swap positions if Var > MIN_VAR.
 func (p *Protocol) attemptSwap(e *event.Engine, u, v int) bool {
 	degU, degV := p.O.Degree(u), p.O.Degree(v)
 	// Each side probes the other's neighborhood: 2c measurements (§4.3).
 	p.Counters.MeasureMessages += uint64(degU + degV)
-	variation := p.O.SwapGainMeasured(u, v, p.measureHosts)
+	var failed bool
+	variation := p.O.SwapGainMeasured(u, v, p.hostMeasurer(e, &failed))
+	if failed {
+		return false
+	}
 	if variation <= p.cfg.MinVar {
 		p.Counters.Rejected++
 		return false
@@ -473,7 +698,11 @@ func (p *Protocol) attemptTrade(e *event.Engine, u, v int, path []int) bool {
 	}
 	// Each side probes the m hypothetical neighbors: 2m measurements.
 	p.Counters.MeasureMessages += uint64(len(give) + len(take))
-	variation := p.O.ExchangeGainMeasured(u, v, give, take, p.measureSlots)
+	var failed bool
+	variation := p.O.ExchangeGainMeasured(u, v, give, take, p.slotMeasurer(e, &failed))
+	if failed {
+		return false
+	}
 	if variation <= p.cfg.MinVar {
 		p.Counters.Rejected++
 		return false

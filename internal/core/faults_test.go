@@ -1,0 +1,254 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/faults"
+	"repro/internal/rng"
+)
+
+func mustInjector(t *testing.T, cfg faults.Config) *faults.Injector {
+	t.Helper()
+	in, err := faults.NewInjector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// runWithFaults runs one PROP instance for horizon ms and returns it.
+func runWithFaults(t *testing.T, policy Policy, seed uint64, inj *faults.Injector, horizon event.Time) (*Protocol, float64) {
+	t.Helper()
+	o, r := scrambledLineOverlay(t, 40, seed)
+	cfg := DefaultConfig(policy)
+	cfg.InitTimerMS = 1000
+	p, err := New(o, cfg, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.AttachFaults(inj)
+	before := o.MeanLinkLatency()
+	e := event.New()
+	p.Start(e)
+	e.RunUntil(horizon)
+	return p, before
+}
+
+func TestZeroInjectorMatchesFaultFree(t *testing.T) {
+	// An attached all-zero injector must leave the protocol's behavior
+	// unchanged: every message is delivered, no retransmit is scheduled, and
+	// no extra randomness is consumed, so the final overlay is identical.
+	for _, policy := range []Policy{PROPG, PROPO} {
+		run := func(attach bool) (uint64, float64) {
+			o, r := scrambledLineOverlay(t, 40, 11)
+			cfg := DefaultConfig(policy)
+			cfg.InitTimerMS = 1000
+			p, err := New(o, cfg, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if attach {
+				p.AttachFaults(mustInjector(t, faults.Config{Seed: 1}))
+			}
+			e := event.New()
+			p.Start(e)
+			e.RunUntil(30000)
+			return p.Counters.Exchanges, o.MeanLinkLatency()
+		}
+		exBare, latBare := run(false)
+		exZero, latZero := run(true)
+		if exBare != exZero || latBare != latZero {
+			t.Errorf("%v: zero injector diverged: exchanges %d vs %d, latency %v vs %v",
+				policy, exBare, exZero, latBare, latZero)
+		}
+	}
+}
+
+func TestLossTriggersRetriesAndStillConverges(t *testing.T) {
+	for _, policy := range []Policy{PROPG, PROPO} {
+		inj := mustInjector(t, faults.Config{Seed: 3, LossProb: 0.05})
+		p, before := runWithFaults(t, policy, 17, inj, 60000)
+		if p.Counters.Timeouts == 0 || p.Counters.Retries == 0 {
+			t.Errorf("%v: no timeouts/retries under 5%% loss: %+v", policy, p.Counters)
+		}
+		if p.Counters.Exchanges == 0 {
+			t.Errorf("%v: no exchanges executed under 5%% loss", policy)
+		}
+		after := p.O.MeanLinkLatency()
+		if after >= before {
+			t.Errorf("%v: no improvement under loss: %v -> %v", policy, before, after)
+		}
+		if err := p.O.CheckInvariants(); err != nil {
+			t.Errorf("%v: invariants violated: %v", policy, err)
+		}
+	}
+}
+
+func TestJitterAndDupsAreAbsorbed(t *testing.T) {
+	inj := mustInjector(t, faults.Config{Seed: 5, DupProb: 0.2, JitterMS: 5})
+	p, _ := runWithFaults(t, PROPG, 23, inj, 60000)
+	if p.Counters.DupsDropped == 0 {
+		t.Fatalf("no duplicates dropped at 20%% dup rate: %+v", p.Counters)
+	}
+	if err := p.O.CheckInvariants(); err != nil {
+		t.Fatalf("invariants violated: %v", err)
+	}
+}
+
+func TestCrashNodeAndLivenessEviction(t *testing.T) {
+	o, r := scrambledLineOverlay(t, 30, 29)
+	cfg := DefaultConfig(PROPG)
+	cfg.InitTimerMS = 1000
+	p, err := New(o, cfg, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.AttachFaults(mustInjector(t, faults.Config{Seed: 1}))
+	e := event.New()
+	p.Start(e)
+	e.RunUntil(5000)
+
+	victim := o.AliveSlots()[0]
+	if err := o.CrashSlot(victim); err != nil {
+		t.Fatal(err)
+	}
+	p.CrashNode(victim)
+	if p.Registered() != 29 {
+		t.Fatalf("Registered = %d after crash, want 29", p.Registered())
+	}
+
+	// Survivors must notice on their own probes and drop stale references.
+	e.RunUntil(20000)
+	if p.Counters.Evictions == 0 {
+		t.Fatalf("no liveness evictions after a crash: %+v", p.Counters)
+	}
+	if o.Degree(victim) != 0 {
+		t.Fatalf("corpse still has %d stale edges after eviction rounds", o.Degree(victim))
+	}
+	// Fully evicted: purging formalizes the death and the strict invariant
+	// holds again.
+	if err := o.PurgeCrashed(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStaleRetransmitTimersAreAbsorbed(t *testing.T) {
+	// Total loss keeps every node inside a retransmit chain; an external
+	// repair notification (NeighborsChanged) must invalidate those chains,
+	// and the pending timers must be counted as stale, not restart cycles.
+	o, r := scrambledLineOverlay(t, 20, 31)
+	cfg := DefaultConfig(PROPG)
+	cfg.InitTimerMS = 1000
+	cfg.ProbeTimeoutMS = 2000
+	p, err := New(o, cfg, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.AttachFaults(mustInjector(t, faults.Config{Seed: 7, LossProb: 1}))
+	e := event.New()
+	p.Start(e)
+	e.RunUntil(1500) // every node has started its cycle; chains pending
+	p.NeighborsChanged(e, o.AliveSlots()...)
+	e.RunUntil(60000)
+	if p.Counters.StaleTimers == 0 {
+		t.Fatalf("no stale timers absorbed: %+v", p.Counters)
+	}
+	if p.Counters.Exchanges != 0 {
+		t.Fatalf("exchanges executed under total loss: %+v", p.Counters)
+	}
+	if err := o.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTotalLossMeansNoExchangesButBoundedRetries(t *testing.T) {
+	inj := mustInjector(t, faults.Config{Seed: 13, LossProb: 1})
+	p, before := runWithFaults(t, PROPO, 37, inj, 60000)
+	if p.Counters.Exchanges != 0 {
+		t.Fatalf("exchanges executed with every message lost: %+v", p.Counters)
+	}
+	if got := p.O.MeanLinkLatency(); got != before {
+		t.Fatalf("overlay changed under total loss: %v -> %v", before, got)
+	}
+	// Retries stay bounded: per timeout at most one retransmission, and per
+	// probe attempt chain at most MaxRetries retransmissions.
+	if p.Counters.Retries > p.Counters.Timeouts {
+		t.Fatalf("more retries than timeouts: %+v", p.Counters)
+	}
+	if p.Counters.Timeouts == 0 {
+		t.Fatal("no timeouts under total loss")
+	}
+}
+
+func TestPartitionStallsThenRecovers(t *testing.T) {
+	// Hosts are line positions; isolate those of half the slots during a
+	// window and verify exchanges across the cut resume afterwards.
+	o, r := scrambledLineOverlay(t, 30, 41)
+	isolated := map[int]bool{}
+	for i, s := range o.AliveSlots() {
+		if i%2 == 0 {
+			isolated[o.HostOf(s)] = true
+		}
+	}
+	cfg := DefaultConfig(PROPG)
+	cfg.InitTimerMS = 1000
+	p, err := New(o, cfg, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.AttachFaults(mustInjector(t, faults.Config{
+		Seed:             1,
+		PartitionStartMS: 0,
+		PartitionStopMS:  20000,
+		Isolated:         isolated,
+	}))
+	e := event.New()
+	p.Start(e)
+	e.RunUntil(20000)
+	duringTimeouts := p.Counters.Timeouts
+	if duringTimeouts == 0 {
+		t.Fatal("no timeouts during the partition window")
+	}
+	e.RunUntil(80000)
+	if p.Counters.Exchanges == 0 {
+		t.Fatal("no exchanges after the partition healed")
+	}
+	if err := p.O.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRetransmitDelayGrowsExponentially(t *testing.T) {
+	o, _ := scrambledLineOverlay(t, 10, 1)
+	cfg := DefaultConfig(PROPG)
+	cfg.BackoffJitter = 0
+	p, err := New(o, cfg, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := event.Time(0)
+	for attempt := 0; attempt < 4; attempt++ {
+		d := p.retransmitDelay(attempt)
+		want := event.Time(cfg.ProbeTimeoutMS * float64(uint64(1)<<uint(attempt)))
+		if d != want {
+			t.Fatalf("retransmitDelay(%d) = %v, want %v", attempt, d, want)
+		}
+		if d <= prev {
+			t.Fatalf("delay not growing: %v then %v", prev, d)
+		}
+		prev = d
+	}
+	// With jitter the delay lands in [base, base*(1+j)).
+	p.cfg.BackoffJitter = 0.5
+	for attempt := 0; attempt < 4; attempt++ {
+		base := event.Time(cfg.ProbeTimeoutMS * float64(uint64(1)<<uint(attempt)))
+		d := p.retransmitDelay(attempt)
+		if d < base || d >= event.Time(float64(base)*1.5) {
+			t.Fatalf("jittered delay %v outside [%v, %v)", d, base, float64(base)*1.5)
+		}
+	}
+}

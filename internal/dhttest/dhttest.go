@@ -43,6 +43,19 @@ type Churner interface {
 	Leave(slot int) error
 }
 
+// CrashChurner is the crash-stop face of a DHT adapter: abrupt node death —
+// the victim vanishes without deregistering, survivors keep stale
+// references — plus the substrate's failure-recovery round. Every substrate
+// implements it, so the crash-phase conformance check is mandatory exactly
+// like the graceful ChurnPhase.
+type CrashChurner interface {
+	// Crash kills the live slot crash-stop.
+	Crash(slot int) error
+	// RepairCrashed runs one failure-recovery round and reports how many
+	// corpses it repaired.
+	RepairCrashed() (int, error)
+}
+
 // InvariantChecker is implemented by adapters whose substrate exposes a
 // structural self-check (Chord ring order, CAN tiling, Pastry/Kademlia
 // table well-formedness). The churn phase evaluates it through the online
@@ -66,6 +79,7 @@ func Run(t *testing.T, build Builder) {
 	t.Run("SwapInvariance", func(t *testing.T) { runSwap(t, build) })
 	t.Run("LatencyNonNegative", func(t *testing.T) { runNonNegative(t, build) })
 	t.Run("ChurnPhase", func(t *testing.T) { runChurn(t, build) })
+	t.Run("ChurnPhaseCrashStop", func(t *testing.T) { runChurnCrash(t, build) })
 }
 
 func mustBuild(t *testing.T, build Builder, n int, seed uint64) DHT {
@@ -236,6 +250,102 @@ func runChurn(t *testing.T, build Builder) {
 	}
 	if a.Events() == 0 || a.Checks() == 0 {
 		t.Fatalf("churn phase audited nothing: %s", a.Summary())
+	}
+}
+
+// runChurnCrash is the crash-stop counterpart of runChurn: nodes die
+// abruptly — stale references and all — and the substrate's RepairCrashed
+// round must restore well-formedness, connectivity, and owner-correct
+// lookups. The slot↔host bijection is audited during the corpse window too
+// (CrashSlot must release hosts immediately); the stronger predicates are
+// only demanded after each repair round, matching real failure-recovery
+// semantics.
+func runChurnCrash(t *testing.T, build Builder) {
+	d := mustBuild(t, build, 64, 21)
+	cc, ok := d.(CrashChurner)
+	if !ok {
+		t.Fatalf("adapter %T does not implement dhttest.CrashChurner; crash-stop conformance is mandatory", d)
+	}
+	c, ok := d.(Churner)
+	if !ok {
+		t.Fatalf("adapter %T does not implement dhttest.Churner", d)
+	}
+	o := d.Overlay()
+
+	// Checked on every membership event, including mid-corpse-window.
+	always := audit.New(1, 64)
+	always.Register(audit.OverlayBijection(o))
+	// Checked after every repair round.
+	postRepair := audit.New(1, 64)
+	postRepair.Register(audit.OverlayBijection(o), audit.OverlayConnected(o))
+	if ic, ok := d.(InvariantChecker); ok {
+		postRepair.Register(audit.Check("dht-wellformed", ic.CheckInvariants))
+	}
+
+	r := rng.New(22)
+	nextHost := 2_000_000 // disjoint from mustBuild's and runChurn's hosts
+	totalCrashed := 0
+	for round := 0; round < 12; round++ {
+		want := 1 + r.Intn(3)
+		crashed := 0
+		for i := 0; i < want && o.NumAlive() > 8; i++ {
+			alive := o.AliveSlots()
+			victim := alive[r.Intn(len(alive))]
+			if err := cc.Crash(victim); err != nil {
+				t.Fatalf("round %d: crash(%d): %v", round, victim, err)
+			}
+			crashed++
+			always.Observe(audit.Record{Kind: audit.KindLeave, A: victim})
+		}
+		totalCrashed += crashed
+
+		repaired, err := cc.RepairCrashed()
+		if err != nil {
+			t.Fatalf("round %d: repair: %v", round, err)
+		}
+		if repaired < crashed {
+			t.Fatalf("round %d: crashed %d nodes, repair handled %d", round, crashed, repaired)
+		}
+		postRepair.CheckNow()
+
+		// A newcomer keeps the population healthy across rounds.
+		slot, err := c.Join(nextHost, r)
+		if err != nil {
+			t.Fatalf("round %d: join(host %d): %v", round, nextHost, err)
+		}
+		always.Observe(audit.Record{Kind: audit.KindJoin, A: slot, B: nextHost})
+		nextHost++
+
+		// Post-repair lookups must resolve at the true owner again.
+		alive := o.AliveSlots()
+		for i := 0; i < 4; i++ {
+			src := alive[r.Intn(len(alive))]
+			key := uint32(r.Uint64())
+			wantOwner := d.Owner(key)
+			owner, hops, _, err := d.Lookup(src, key, nil)
+			if err != nil {
+				postRepair.Fail("crash-lookup", err)
+			} else if owner != wantOwner {
+				postRepair.Fail("crash-lookup",
+					fmt.Errorf("lookup(%d, %#x) reached %d, owner is %d", src, key, owner, wantOwner))
+			} else if bound := o.NumAlive() + 64; hops > bound {
+				postRepair.Fail("crash-lookup",
+					fmt.Errorf("lookup(%d, %#x) took %d hops, bound %d", src, key, hops, bound))
+			}
+			postRepair.Observe(audit.Record{Kind: audit.KindLookup, A: src, B: owner, Aux: []int{hops, wantOwner}})
+		}
+	}
+	if totalCrashed == 0 {
+		t.Fatal("crash phase crashed nothing")
+	}
+	if err := always.Err(); err != nil {
+		t.Fatalf("corpse-window audit failed (%s): %v", always.Summary(), err)
+	}
+	if err := postRepair.Err(); err != nil {
+		t.Fatalf("post-repair audit failed (%s): %v", postRepair.Summary(), err)
+	}
+	if postRepair.Checks() == 0 {
+		t.Fatalf("crash phase audited nothing: %s", postRepair.Summary())
 	}
 }
 

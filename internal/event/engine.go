@@ -87,6 +87,7 @@ func (e *Engine) Step() bool {
 		}
 		e.now = ev.at
 		e.steps++
+		ev.done = true
 		ev.h(e)
 		return true
 	}
@@ -143,11 +144,26 @@ func (e *Engine) peek() *item {
 type Token struct{ item *item }
 
 // Cancel marks the event as cancelled; it will be skipped when its time
-// comes. Cancelling twice (or after execution) is a no-op.
-func (t *Token) Cancel() {
-	if t != nil && t.item != nil {
-		t.item.cancelled = true
+// comes. It reports whether the call actually prevented a pending event:
+// false means the event had already executed or been cancelled, which is
+// precisely the stale-timer race — a retransmit timer whose response arrived
+// in the same tick — so callers can count it (metrics.Counters.StaleTimers)
+// instead of silently double-cancelling.
+func (t *Token) Cancel() bool {
+	if t == nil || t.item == nil {
+		return false
 	}
+	live := !t.item.done && !t.item.cancelled
+	t.item.cancelled = true
+	return live
+}
+
+// Pending reports whether the event is still scheduled: not yet executed and
+// not cancelled. Timer handlers use this for stale-fire guards — a handler
+// that captured its own token can tell whether it is the current incarnation
+// of the timer.
+func (t *Token) Pending() bool {
+	return t != nil && t.item != nil && !t.item.done && !t.item.cancelled
 }
 
 type item struct {
@@ -155,6 +171,7 @@ type item struct {
 	seq       uint64
 	h         Handler
 	cancelled bool
+	done      bool
 	index     int
 }
 

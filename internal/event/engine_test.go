@@ -89,6 +89,71 @@ func TestCancel(t *testing.T) {
 	nilTok.Cancel() // must not panic
 }
 
+func TestCancelReportsPendingPrevention(t *testing.T) {
+	e := New()
+	tok := e.At(10, func(*Engine) {})
+	if !tok.Pending() {
+		t.Fatal("fresh token not Pending")
+	}
+	if !tok.Cancel() {
+		t.Fatal("first Cancel of a pending event reported false")
+	}
+	if tok.Cancel() {
+		t.Fatal("second Cancel reported true")
+	}
+	if tok.Pending() {
+		t.Fatal("cancelled token still Pending")
+	}
+
+	// After execution, Cancel must report false: the stale-timer case.
+	tok2 := e.At(20, func(*Engine) {})
+	e.Run(0)
+	if tok2.Pending() {
+		t.Fatal("executed token still Pending")
+	}
+	if tok2.Cancel() {
+		t.Fatal("Cancel after execution reported true")
+	}
+
+	var nilTok *Token
+	if nilTok.Cancel() || nilTok.Pending() {
+		t.Fatal("nil token reported live state")
+	}
+}
+
+func TestStaleTimerFire(t *testing.T) {
+	// Model a retransmit timer whose response arrives in the same tick: the
+	// response handler runs first (FIFO among equal times), tries to cancel
+	// the timer, and learns whether it was in time. If it was not — the timer
+	// already fired — the timer handler must be able to detect staleness via
+	// an epoch captured at scheduling time.
+	e := New()
+	epoch := 0
+	staleFires, liveFires := 0, 0
+	schedule := func(at Time) {
+		myEpoch := epoch
+		e.At(at, func(*Engine) {
+			if myEpoch != epoch {
+				staleFires++
+				return
+			}
+			liveFires++
+		})
+	}
+	schedule(10)
+	// Response arrives at t=5: epoch bump invalidates the timer logically,
+	// but we "forget" to cancel — the guard must absorb the fire. The next
+	// incarnation is scheduled under the new epoch and fires live.
+	e.At(5, func(*Engine) {
+		epoch++
+		schedule(20)
+	})
+	e.Run(0)
+	if staleFires != 1 || liveFires != 1 {
+		t.Fatalf("staleFires=%d liveFires=%d, want 1 and 1", staleFires, liveFires)
+	}
+}
+
 func TestCancelOneOfMany(t *testing.T) {
 	e := New()
 	var order []int

@@ -53,6 +53,16 @@ type Options struct {
 	// Latencies round once on store (sub-ppm error at millisecond scale),
 	// so outputs may differ in the last digits from the float64 default.
 	OracleFloat32 bool
+	// FaultLoss, FaultCrash, and FaultPartitionMS parameterize the figR*
+	// robustness family (cmd/propsim -loss/-crash/-partition). Zero keeps
+	// each experiment's default: a non-zero FaultLoss or FaultCrash
+	// collapses figRa's/figRb's sweep to {0, value}, and a non-zero
+	// FaultPartitionMS overrides figRc's partition-window length. The
+	// fault-free experiments ignore all three — their runs and metrics
+	// streams stay byte-identical regardless.
+	FaultLoss        float64
+	FaultCrash       float64
+	FaultPartitionMS float64
 	// Metrics, when non-nil, switches the observability layer on: the
 	// instrumented experiments (fig5*, fig6*, fig7, churn) record per-trial
 	// phase spans, sim-clock time series of the protocol/overlay/back-off

@@ -1,0 +1,106 @@
+package experiment
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// runFigRWithMetrics runs one figR experiment with an attached registry and
+// returns the rendered table plus the full JSONL metrics stream.
+func runFigRWithMetrics(t *testing.T, id string, opt Options) (string, []byte) {
+	t.Helper()
+	reg := obs.New(obs.NewManifest(id, opt.Seed, opt.Trials, opt.Scale))
+	opt.Metrics = reg
+	table := renderOf(t, id, opt)
+	var buf bytes.Buffer
+	if err := reg.WriteJSONL(&buf); err != nil {
+		t.Fatalf("%s: WriteJSONL: %v", id, err)
+	}
+	return table, buf.Bytes()
+}
+
+// TestFigRMetricsByteDeterminism is the fault-schedule determinism
+// regression: the figR metrics streams — which embed every retry, timeout,
+// and injector tally the fault schedule produced — must be byte-identical
+// across runs with the same seed, and must change with the seed.
+func TestFigRMetricsByteDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figR determinism sweep in -short mode")
+	}
+	for _, id := range []string{"figRa", "figRb", "figRc"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			// Collapse the sweeps to two points to keep the regression fast.
+			opt := Options{Seed: 5, Trials: 2, Scale: 0.1, FaultLoss: 0.05, FaultCrash: 0.10}
+			table1, jsonl1 := runFigRWithMetrics(t, id, opt)
+			table2, jsonl2 := runFigRWithMetrics(t, id, opt)
+			if table1 != table2 {
+				t.Fatalf("same seed rendered different tables:\n--- first ---\n%s\n--- second ---\n%s", table1, table2)
+			}
+			if !bytes.Equal(jsonl1, jsonl2) {
+				t.Fatalf("same seed produced different metrics streams (%d vs %d bytes)", len(jsonl1), len(jsonl2))
+			}
+			other := opt
+			other.Seed = 6
+			_, jsonl3 := runFigRWithMetrics(t, id, other)
+			if bytes.Equal(jsonl1, jsonl3) {
+				t.Errorf("seeds 5 and 6 produced identical metrics streams — the fault schedule is not seeded")
+			}
+		})
+	}
+}
+
+// TestFigRaConvergesUnderLoss pins the acceptance property: at 5%% message
+// loss both PROP policies still end well below the unoptimized overlay.
+func TestFigRaConvergesUnderLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figRa convergence run in -short mode")
+	}
+	res, err := Run("figRa", Options{Seed: 5, Trials: 1, Scale: 0.1, FaultLoss: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var unopt float64
+	for _, s := range res.Series {
+		if s.Label == "unoptimized" {
+			unopt = s.YAt(5)
+		}
+	}
+	if unopt <= 0 {
+		t.Fatalf("missing unoptimized baseline in %+v", res.Series)
+	}
+	for _, s := range res.Series {
+		if s.Label == "unoptimized" {
+			continue
+		}
+		if got := s.YAt(5); got >= unopt {
+			t.Errorf("%s at 5%% loss: stretch %v did not improve on unoptimized %v", s.Label, got, unopt)
+		}
+	}
+}
+
+// TestFigRbRepairsCrashes pins the crash-stop acceptance property: with 10%%
+// of the peers crashing, the repair rounds actually run (corpses repaired)
+// and the per-round audit — which would have failed the run — stayed green.
+func TestFigRbRepairsCrashes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figRb crash run in -short mode")
+	}
+	res, err := Run("figRb", Options{Seed: 5, Trials: 1, Scale: 0.1, FaultCrash: 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Series {
+		if s.Label != "corpses repaired" {
+			continue
+		}
+		if got := s.YAt(10); got <= 0 {
+			t.Errorf("corpses repaired at crash=10%%: %v, want > 0", got)
+		}
+		return
+	}
+	t.Fatalf("missing 'corpses repaired' series in %+v", res.Series)
+}

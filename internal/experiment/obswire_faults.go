@@ -1,0 +1,51 @@
+package experiment
+
+import (
+	"repro/internal/faults"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+)
+
+// Fault-layer observability hookups for the figR* robustness family. They
+// live apart from obswire.go's shared helpers on purpose: the fault-free
+// experiments must keep emitting byte-identical metrics streams, so none of
+// their sampling paths may gain (or even conditionally skip) the fault
+// series below.
+
+// sampleFaultCounters writes one tick of the protocol's fault-handling
+// counters — timeouts, retries, liveness evictions, duplicate drops, and
+// absorbed stale timers — as cumulative sim-clock series.
+func sampleFaultCounters(tr *obs.Trial, prefix string, tMS float64, c metrics.Counters) {
+	if tr == nil {
+		return
+	}
+	tr.Series(prefix+"faults.timeouts").Sample(tMS, float64(c.Timeouts))
+	tr.Series(prefix+"faults.retries").Sample(tMS, float64(c.Retries))
+	tr.Series(prefix+"faults.evictions").Sample(tMS, float64(c.Evictions))
+	tr.Series(prefix+"faults.dups_dropped").Sample(tMS, float64(c.DupsDropped))
+	tr.Series(prefix+"faults.stale_timers").Sample(tMS, float64(c.StaleTimers))
+}
+
+// recordFaultTotals stores the end-of-run fault manifest: the protocol's
+// recovery totals plus what the injector actually did to the traffic
+// (messages seen, losses, duplicates, link-outage and partition drops). A
+// nil trial or nil injector records nothing.
+func recordFaultTotals(tr *obs.Trial, prefix string, c metrics.Counters, inj *faults.Injector) {
+	if tr == nil {
+		return
+	}
+	tr.Counter(prefix + "faults.timeouts").Add(c.Timeouts)
+	tr.Counter(prefix + "faults.retries").Add(c.Retries)
+	tr.Counter(prefix + "faults.evictions").Add(c.Evictions)
+	tr.Counter(prefix + "faults.dups_dropped").Add(c.DupsDropped)
+	tr.Counter(prefix + "faults.stale_timers").Add(c.StaleTimers)
+	if !inj.Enabled() {
+		return
+	}
+	s := inj.Stats()
+	tr.Counter(prefix + "faults.injected_messages").Add(s.Messages)
+	tr.Counter(prefix + "faults.injected_lost").Add(s.Lost)
+	tr.Counter(prefix + "faults.injected_dups").Add(s.Dups)
+	tr.Counter(prefix + "faults.linkdown_drops").Add(s.LinkDownDrops)
+	tr.Counter(prefix + "faults.partition_drops").Add(s.PartitionDrops)
+}

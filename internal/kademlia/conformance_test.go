@@ -21,6 +21,8 @@ func (a dhtAdapter) Lookup(src int, key uint32, proc overlay.ProcDelayFunc) (int
 }
 func (a dhtAdapter) Join(host int, r *rng.Rand) (int, error) { return a.net.Join(host, a.lat, r) }
 func (a dhtAdapter) Leave(slot int) error                    { return a.net.Leave(slot, a.lat) }
+func (a dhtAdapter) Crash(slot int) error                    { return a.net.Crash(slot) }
+func (a dhtAdapter) RepairCrashed() (int, error)             { return a.net.RepairCrashed(a.lat) }
 func (a dhtAdapter) CheckInvariants() error                  { return a.net.CheckInvariants() }
 
 func TestDHTConformance(t *testing.T) {

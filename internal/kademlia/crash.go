@@ -1,0 +1,43 @@
+package kademlia
+
+import (
+	"fmt"
+
+	"repro/internal/overlay"
+)
+
+// Crash-stop failure handling. Kademlia is the most crash-tolerant of the
+// four DHTs — buckets heal through ordinary traffic — so repair is simply a
+// purge of the corpses followed by the same global Refresh a graceful leave
+// triggers.
+
+// Crash kills slot crash-stop: its host is released but its bucket entries
+// elsewhere go stale until RepairCrashed. The network must retain at least
+// two live nodes.
+func (net *Net) Crash(slot int) error {
+	if !net.O.Alive(slot) {
+		return fmt.Errorf("kademlia: Crash(%d) on dead slot", slot)
+	}
+	if net.O.NumAlive() <= 2 {
+		return fmt.Errorf("kademlia: refusing to shrink below 2 nodes")
+	}
+	return net.O.CrashSlot(slot)
+}
+
+// RepairCrashed runs one failure-recovery round: corpses are purged and the
+// buckets refilled from the live membership. It returns the number of
+// corpses repaired.
+func (net *Net) RepairCrashed(lat overlay.LatencyFunc) (int, error) {
+	crashed := net.O.CrashedSlots()
+	if len(crashed) == 0 {
+		return 0, nil
+	}
+	for _, c := range crashed {
+		net.buckets[c] = nil
+		if err := net.O.PurgeCrashed(c); err != nil {
+			return 0, err
+		}
+	}
+	net.Refresh(lat)
+	return len(crashed), nil
+}

@@ -191,6 +191,25 @@ type Counters struct {
 	Rejected uint64
 	// WalkFailures is the number of random walks that got stuck early.
 	WalkFailures uint64
+
+	// The remaining counters exist only under fault injection
+	// (internal/faults); they stay zero — and out of every fault-free metrics
+	// stream — when no injector is attached.
+
+	// Timeouts is the number of probe steps abandoned because a message was
+	// lost and the retransmit timer fired.
+	Timeouts uint64
+	// Retries is the number of retransmissions sent after a timeout.
+	Retries uint64
+	// Evictions is the number of stale neighbor links dropped by liveness
+	// eviction after a crashed peer stopped answering.
+	Evictions uint64
+	// DupsDropped is the number of duplicated protocol messages recognized
+	// and discarded by their sequence guard.
+	DupsDropped uint64
+	// StaleTimers is the number of retransmit timers that fired after their
+	// response had already arrived and were absorbed by the epoch guard.
+	StaleTimers uint64
 }
 
 // Messages returns the total message count of the protocol so far.
@@ -224,4 +243,9 @@ func (c *Counters) Add(other Counters) {
 	c.Exchanges += other.Exchanges
 	c.Rejected += other.Rejected
 	c.WalkFailures += other.WalkFailures
+	c.Timeouts += other.Timeouts
+	c.Retries += other.Retries
+	c.Evictions += other.Evictions
+	c.DupsDropped += other.DupsDropped
+	c.StaleTimers += other.StaleTimers
 }

@@ -1,0 +1,22 @@
+package netsim
+
+// PartitionByDomain returns the isolated-host set of a network partition
+// that cuts the listed transit domains off from the rest of the backbone:
+// every physical node — transit router or stub host — whose Domain index is
+// listed ends up on the far side. The result plugs directly into
+// faults.Config.Isolated; messages between an isolated and a non-isolated
+// node are dropped for the duration of the partition window, while traffic
+// within either side is unaffected.
+func (n *Network) PartitionByDomain(domains ...int) map[int]bool {
+	want := make(map[int]bool, len(domains))
+	for _, d := range domains {
+		want[d] = true
+	}
+	iso := map[int]bool{}
+	for id, d := range n.Domain {
+		if want[d] {
+			iso[id] = true
+		}
+	}
+	return iso
+}

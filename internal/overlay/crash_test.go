@@ -1,0 +1,169 @@
+package overlay
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// ringOverlay builds a 5-slot ring on hosts 0..40 step 10.
+func ringOverlay(t *testing.T) *Overlay {
+	t.Helper()
+	o := lineOverlay(t, []int{0, 10, 20, 30, 40})
+	for u := 0; u < 5; u++ {
+		if err := o.AddEdge(u, (u+1)%5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return o
+}
+
+func TestCrashSlotKeepsStaleEdges(t *testing.T) {
+	o := ringOverlay(t)
+	if err := o.CrashSlot(2); err != nil {
+		t.Fatal(err)
+	}
+	if o.Alive(2) || !o.Crashed(2) {
+		t.Fatalf("after crash: alive=%v crashed=%v", o.Alive(2), o.Crashed(2))
+	}
+	if o.HostOf(2) != -1 || o.SlotOfHost(20) != -1 {
+		t.Fatal("crashed slot still holds its host")
+	}
+	if o.Degree(2) != 2 {
+		t.Fatalf("crashed slot degree = %d, want stale edges kept", o.Degree(2))
+	}
+	// The auditor must tolerate the corpse while it is flagged crashed.
+	if err := o.CheckInvariants(); err != nil {
+		t.Fatalf("invariants reject flagged corpse: %v", err)
+	}
+	if got := o.CrashedSlots(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("CrashedSlots = %v", got)
+	}
+	if err := o.CrashSlot(2); err == nil {
+		t.Fatal("double crash accepted")
+	}
+}
+
+func TestEvictDeadNeighbors(t *testing.T) {
+	o := ringOverlay(t)
+	if err := o.CrashSlot(2); err != nil {
+		t.Fatal(err)
+	}
+	if n := o.EvictDeadNeighbors(1); n != 1 {
+		t.Fatalf("evicted %d edges from slot 1, want 1", n)
+	}
+	if o.Logical.HasEdge(1, 2) {
+		t.Fatal("stale edge survived eviction")
+	}
+	if n := o.EvictDeadNeighbors(1); n != 0 {
+		t.Fatalf("second eviction removed %d edges", n)
+	}
+	// The other survivor still holds its stale edge.
+	if !o.Logical.HasEdge(2, 3) {
+		t.Fatal("unrelated stale edge vanished")
+	}
+}
+
+func TestPurgeCrashed(t *testing.T) {
+	o := ringOverlay(t)
+	if err := o.PurgeCrashed(2); err == nil {
+		t.Fatal("purging a live slot accepted")
+	}
+	if err := o.CrashSlot(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.PurgeCrashed(2); err != nil {
+		t.Fatal(err)
+	}
+	if o.Degree(2) != 0 || o.Crashed(2) {
+		t.Fatalf("after purge: degree=%d crashed=%v", o.Degree(2), o.Crashed(2))
+	}
+	// Purged corpse is now held to the strict (graceful-leave) invariant.
+	if err := o.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.PurgeCrashed(2); err == nil {
+		t.Fatal("double purge accepted")
+	}
+}
+
+func TestCheckInvariantsRejectsUnflaggedCorpseEdges(t *testing.T) {
+	o := ringOverlay(t)
+	if err := o.CrashSlot(2); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a buggy repair path that clears the flag without purging.
+	delete(o.crashed, 2)
+	if err := o.CheckInvariants(); err == nil {
+		t.Fatal("invariants accepted dead slot with edges and no crashed flag")
+	}
+}
+
+func TestCrashSkippedByGainAndLatencySums(t *testing.T) {
+	o := ringOverlay(t)
+	wantSum := o.Dist(1, 0) // after crash of 2, slot 1's only live neighbor is 0
+	if err := o.CrashSlot(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.NeighborLatencySum(1); got != wantSum {
+		t.Fatalf("NeighborLatencySum(1) = %v, want %v", got, wantSum)
+	}
+	// SwapGain over slots adjacent to the corpse must not touch its host.
+	calls := 0
+	o.SwapGainMeasured(1, 3, func(a, b int) float64 {
+		calls++
+		if a < 0 || b < 0 {
+			t.Fatalf("measured against released host: (%d,%d)", a, b)
+		}
+		return gridLat(a, b)
+	})
+	if calls == 0 {
+		t.Fatal("no measurements at all")
+	}
+	// Walks must refuse to route through the corpse: from 1, the only
+	// candidates after the first hop exclude slot 2.
+	r := rng.New(7)
+	for i := 0; i < 20; i++ {
+		path, ok := o.RandomWalk(0, 1, 3, r)
+		if !ok {
+			continue
+		}
+		for _, s := range path {
+			if s == 2 {
+				t.Fatalf("walk routed through crashed slot: %v", path)
+			}
+		}
+	}
+}
+
+func TestCrashCloneIndependence(t *testing.T) {
+	o := ringOverlay(t)
+	if err := o.CrashSlot(2); err != nil {
+		t.Fatal(err)
+	}
+	c := o.Clone()
+	if !c.Crashed(2) {
+		t.Fatal("clone lost crashed flag")
+	}
+	if err := c.PurgeCrashed(2); err != nil {
+		t.Fatal(err)
+	}
+	if !o.Crashed(2) {
+		t.Fatal("purging the clone cleared the original's flag")
+	}
+}
+
+func TestExchangeRejectsCrashedNeighbor(t *testing.T) {
+	o := ringOverlay(t)
+	if err := o.CrashSlot(2); err != nil {
+		t.Fatal(err)
+	}
+	// Slot 1 still lists 2 as a neighbor; trading it away must be refused.
+	err := o.ExchangeNeighbors(1, 4, []int{2}, []int{3}, nil)
+	if err == nil {
+		t.Fatal("exchange involving a crashed neighbor accepted")
+	}
+	if o.Stats.ExchangesRejected != 1 {
+		t.Fatalf("ExchangesRejected = %d, want 1", o.Stats.ExchangesRejected)
+	}
+}

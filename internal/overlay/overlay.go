@@ -65,6 +65,7 @@ type Overlay struct {
 	slotOfHost map[int]int // physical host -> slot
 	alive      []bool
 	aliveCount int
+	crashed    map[int]bool // dead slots that died crash-stop, stale edges allowed
 	lat        LatencyFunc
 
 	// floodPool recycles flooding-query scratch (see lookup.go) across the
@@ -161,11 +162,15 @@ func (o *Overlay) Dist(u, v int) float64 {
 func (o *Overlay) HostLatency(a, b int) float64 { return o.lat(a, b) }
 
 // NeighborLatencySum returns Σ_{i ∈ N(u)} d(u, i): the quantity each PROP
-// node maintains about its own neighborhood (§3.2).
+// node maintains about its own neighborhood (§3.2). Crashed neighbors whose
+// stale edges have not been evicted yet contribute nothing — a dead host has
+// no measurable latency.
 func (o *Overlay) NeighborLatencySum(u int) float64 {
 	sum := 0.0
 	o.Logical.VisitNeighbors(u, func(v int, _ float64) bool {
-		sum += o.Dist(u, v)
+		if o.Alive(v) {
+			sum += o.Dist(u, v)
+		}
 		return true
 	})
 	return sum
@@ -339,7 +344,12 @@ func (o *Overlay) SwapGainMeasured(u, v int, measure LatencyFunc) float64 {
 	// the measurement sequence: measure may be noisy (consuming one RNG draw
 	// per call) and float summation is order-sensitive, so an unspecified
 	// order would make Var, and with it the whole run, nondeterministic.
+	// Crashed neighbors with stale edges are skipped: their hosts are gone,
+	// so they affect neither side of the swap.
 	for _, i := range o.Logical.Neighbors(u) {
+		if !o.Alive(i) {
+			continue
+		}
 		hi := o.hostOf[i]
 		if i == v {
 			hi = hu // v's host after the swap; d is symmetric so value is unchanged
@@ -348,6 +358,9 @@ func (o *Overlay) SwapGainMeasured(u, v int, measure LatencyFunc) float64 {
 		after += measure(hv, hi)
 	}
 	for _, i := range o.Logical.Neighbors(v) {
+		if !o.Alive(i) {
+			continue
+		}
 		hi := o.hostOf[i]
 		if i == u {
 			hi = hv
@@ -480,6 +493,73 @@ func (o *Overlay) RemoveSlot(u int) error {
 	return nil
 }
 
+// CrashSlot kills slot u crash-stop: the host is released and the slot goes
+// dead immediately, but — unlike the graceful RemoveSlot — its logical edges
+// are left in place. Survivors keep stale references to the corpse until
+// they notice (liveness eviction in internal/core, or a DHT RepairCrashed
+// pass) and the corpse is purged with PurgeCrashed. CheckInvariants tolerates
+// the stale edges only while the slot is flagged crashed.
+func (o *Overlay) CrashSlot(u int) error {
+	if !o.Alive(u) {
+		return fmt.Errorf("overlay: CrashSlot(%d) on dead slot", u)
+	}
+	delete(o.slotOfHost, o.hostOf[u])
+	o.hostOf[u] = -1
+	o.alive[u] = false
+	o.aliveCount--
+	if o.crashed == nil {
+		o.crashed = make(map[int]bool)
+	}
+	o.crashed[u] = true
+	return nil
+}
+
+// Crashed reports whether slot u died crash-stop and has not been purged.
+func (o *Overlay) Crashed(u int) bool { return o.crashed[u] }
+
+// CrashedSlots returns the unpurged crashed slots in ascending order.
+func (o *Overlay) CrashedSlots() []int {
+	if len(o.crashed) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(o.crashed))
+	for s := range o.alive {
+		if o.crashed[s] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// PurgeCrashed completes the death of a crashed slot: every stale edge is
+// removed and the crashed flag cleared, leaving the slot indistinguishable
+// from a graceful leave. Repair paths call this once the survivors have been
+// given replacement links.
+func (o *Overlay) PurgeCrashed(u int) error {
+	if !o.crashed[u] {
+		return fmt.Errorf("overlay: PurgeCrashed(%d): slot is not crashed", u)
+	}
+	for _, v := range o.Logical.Neighbors(u) {
+		o.Logical.RemoveEdge(u, v)
+	}
+	delete(o.crashed, u)
+	return nil
+}
+
+// EvictDeadNeighbors removes u's logical edges to dead slots — the liveness
+// eviction primitive: a node that times out probing a neighbor drops the
+// stale reference. It returns the number of edges evicted.
+func (o *Overlay) EvictDeadNeighbors(u int) int {
+	evicted := 0
+	for _, v := range o.Logical.Neighbors(u) {
+		if !o.Alive(v) {
+			o.Logical.RemoveEdge(u, v)
+			evicted++
+		}
+	}
+	return evicted
+}
+
 // CheckInvariants verifies the overlay's structural invariants — the
 // executable form of the slot/host model's contract, evaluated online by
 // the auditor (internal/audit) after every PROP exchange:
@@ -489,7 +569,8 @@ func (o *Overlay) RemoveSlot(u int) error {
 //     retains a host;
 //   - aliveCount agrees with the alive mask;
 //   - the logical graph covers exactly the slot ID space and no edge
-//     touches a dead slot.
+//     touches a dead slot, except that a slot flagged crashed (CrashSlot)
+//     may keep stale edges until it is purged.
 //
 // It returns the first violation found, or nil.
 func (o *Overlay) CheckInvariants() error {
@@ -506,10 +587,13 @@ func (o *Overlay) CheckInvariants() error {
 			if o.hostOf[s] != -1 {
 				return fmt.Errorf("overlay: dead slot %d still holds host %d", s, o.hostOf[s])
 			}
-			if o.Logical.Degree(s) != 0 {
+			if o.Logical.Degree(s) != 0 && !o.crashed[s] {
 				return fmt.Errorf("overlay: dead slot %d has %d logical edges", s, o.Logical.Degree(s))
 			}
 			continue
+		}
+		if o.crashed[s] {
+			return fmt.Errorf("overlay: slot %d flagged crashed but alive", s)
 		}
 		count++
 		h := o.hostOf[s]
@@ -547,6 +631,12 @@ func (o *Overlay) Clone() *Overlay {
 	}
 	for h, s := range o.slotOfHost {
 		c.slotOfHost[h] = s
+	}
+	if len(o.crashed) > 0 {
+		c.crashed = make(map[int]bool, len(o.crashed))
+		for s := range o.crashed {
+			c.crashed[s] = true
+		}
 	}
 	return c
 }

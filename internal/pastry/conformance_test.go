@@ -21,6 +21,8 @@ func (a dhtAdapter) Lookup(src int, key uint32, proc overlay.ProcDelayFunc) (int
 }
 func (a dhtAdapter) Join(host int, r *rng.Rand) (int, error) { return a.m.Join(host, a.lat, r) }
 func (a dhtAdapter) Leave(slot int) error                    { return a.m.Leave(slot, a.lat) }
+func (a dhtAdapter) Crash(slot int) error                    { return a.m.Crash(slot) }
+func (a dhtAdapter) RepairCrashed() (int, error)             { return a.m.RepairCrashed(a.lat) }
 func (a dhtAdapter) CheckInvariants() error                  { return a.m.CheckInvariants() }
 
 func TestDHTConformance(t *testing.T) {

@@ -1,0 +1,58 @@
+package pastry
+
+import (
+	"fmt"
+
+	"repro/internal/overlay"
+)
+
+// Crash-stop failure handling. A crashed node stays in the sorted ring and
+// in survivors' leaf sets and routing tables until a RepairCrashed round —
+// the simulator's stand-in for Pastry's leaf-set liveness checks — drops it
+// and rebuilds the mesh from the live membership.
+
+// Crash kills slot crash-stop: the host is released, every reference to the
+// slot goes stale. The mesh must retain at least two live nodes.
+func (m *Mesh) Crash(slot int) error {
+	if !m.O.Alive(slot) {
+		return fmt.Errorf("pastry: Crash(%d) on dead slot", slot)
+	}
+	if m.O.NumAlive() <= 2 {
+		return fmt.Errorf("pastry: refusing to shrink below 2 nodes")
+	}
+	return m.O.CrashSlot(slot)
+}
+
+// RepairCrashed runs one failure-recovery round: corpses leave the sorted
+// ring, their tables are released and stale edges purged, and leaf sets,
+// routing tables, and logical links are rebuilt for the survivors. It
+// returns the number of corpses repaired.
+func (m *Mesh) RepairCrashed(lat overlay.LatencyFunc) (int, error) {
+	crashed := m.O.CrashedSlots()
+	if len(crashed) == 0 {
+		return 0, nil
+	}
+	dead := make(map[int]bool, len(crashed))
+	for _, c := range crashed {
+		dead[c] = true
+	}
+	kept := m.sorted[:0]
+	for _, s := range m.sorted {
+		if !dead[s] {
+			kept = append(kept, s)
+		}
+	}
+	if len(kept) < 2 {
+		return 0, fmt.Errorf("pastry: repair would shrink below 2 nodes")
+	}
+	m.sorted = kept
+	for _, c := range crashed {
+		m.leaves[c] = nil
+		m.table[c] = nil
+		if err := m.O.PurgeCrashed(c); err != nil {
+			return 0, err
+		}
+	}
+	m.rebuild(lat)
+	return len(crashed), nil
+}
