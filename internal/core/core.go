@@ -22,6 +22,10 @@
 // Key types: Protocol (one running instance over an overlay), Config, and
 // Policy (PROPG/PROPO). DESIGN.md §3 records every protocol constant and
 // the reconstruction of the paper's lost digits.
+//
+// Probe cycles are scheduled through the event.Clock seam rather than the
+// sim engine directly, so the same protocol code runs on simulated time in
+// experiments and on wall time in the live runtime (DESIGN.md §10).
 package core
 
 import (
@@ -193,7 +197,7 @@ type nodeState struct {
 	seq     int
 	timerMS float64
 	trials  int // probes executed so far (warm-up gate)
-	token   *event.Token
+	token   event.Canceler
 	// epoch invalidates in-flight retransmit chains: it is bumped whenever
 	// the node's situation changes underneath a pending retransmit timer
 	// (neighbor churn, repair, death), so a stale timer firing later is
@@ -251,27 +255,29 @@ func (p *Protocol) AttachFaults(inj *faults.Injector) { p.faults = inj }
 // M returns the resolved PROP-O exchange size.
 func (p *Protocol) M() int { return p.m }
 
-// Start registers every live slot with the engine. Each node's first probe
+// Start registers every live slot with the clock. Each node's first probe
 // is staggered uniformly over one INIT_TIMER interval so that the warm-up
-// phase is not synchronized.
-func (p *Protocol) Start(e *event.Engine) {
+// phase is not synchronized. The clock is the sim engine in experiments and
+// an event.WallClock in the live runtime (DESIGN.md §10); the protocol never
+// looks past the Clock interface.
+func (p *Protocol) Start(e event.Clock) {
 	for _, slot := range p.O.AliveSlots() {
 		p.register(e, slot)
 	}
 }
 
 // register creates protocol state for slot and schedules its first probe.
-func (p *Protocol) register(e *event.Engine, slot int) {
+func (p *Protocol) register(e event.Clock, slot int) {
 	st := &nodeState{slot: slot, timerMS: p.cfg.InitTimerMS}
 	p.initQueue(st)
 	p.nodes[slot] = st
 	delay := event.Time(p.r.Float64() * p.cfg.InitTimerMS)
-	st.token = e.After(delay, func(en *event.Engine) { p.probe(en, slot) })
+	st.token = e.Schedule(delay, func() { p.probe(e, slot) })
 }
 
 // AddNode brings a newly joined slot under protocol control (churn). The
 // slot must already be wired into the overlay.
-func (p *Protocol) AddNode(e *event.Engine, slot int) error {
+func (p *Protocol) AddNode(e event.Clock, slot int) error {
 	if !p.O.Alive(slot) {
 		return fmt.Errorf("core: AddNode(%d) on dead slot", slot)
 	}
@@ -290,7 +296,7 @@ func (p *Protocol) AddNode(e *event.Engine, slot int) error {
 // RemoveNode withdraws a departing slot (churn): its pending probe is
 // cancelled and its former neighbors reset their timers. Call after the
 // overlay repair has rewired the survivors.
-func (p *Protocol) RemoveNode(e *event.Engine, slot int, formerNeighbors []int) {
+func (p *Protocol) RemoveNode(e event.Clock, slot int, formerNeighbors []int) {
 	if st, ok := p.nodes[slot]; ok {
 		st.token.Cancel()
 		st.epoch++
@@ -318,7 +324,7 @@ func (p *Protocol) CrashNode(slot int) {
 // DHT RepairCrashed) rewired the given slots' neighborhoods: each affected
 // live node applies the §3.2 churn rule — timer reset, fresh neighbors at
 // the queue front — and any in-flight retransmit chain is invalidated.
-func (p *Protocol) NeighborsChanged(e *event.Engine, slots ...int) {
+func (p *Protocol) NeighborsChanged(e event.Clock, slots ...int) {
 	for _, s := range slots {
 		p.onNeighborChange(e, s)
 	}
@@ -328,7 +334,7 @@ func (p *Protocol) NeighborsChanged(e *event.Engine, slots ...int) {
 // reset the timer to INIT_TIMER (rescheduling the pending probe) — the
 // queue itself reconciles lazily, with fresh neighbors entering at the
 // front.
-func (p *Protocol) onNeighborChange(e *event.Engine, slot int) {
+func (p *Protocol) onNeighborChange(e event.Clock, slot int) {
 	st, ok := p.nodes[slot]
 	if !ok {
 		return
@@ -336,7 +342,7 @@ func (p *Protocol) onNeighborChange(e *event.Engine, slot int) {
 	st.timerMS = p.cfg.InitTimerMS
 	st.token.Cancel()
 	st.epoch++
-	st.token = e.After(event.Time(st.timerMS), func(en *event.Engine) { p.probe(en, slot) })
+	st.token = e.Schedule(event.Time(st.timerMS), func() { p.probe(e, slot) })
 }
 
 // initQueue fills a node's neighborQ with a random permutation of its
@@ -409,7 +415,7 @@ func (st *nodeState) maxPrio() int {
 // exchange if profitable. Under fault injection the cycle may span several
 // events (retransmits after lost messages); the fault-free path completes
 // synchronously, exactly as it always has.
-func (p *Protocol) probe(e *event.Engine, u int) {
+func (p *Protocol) probe(e event.Clock, u int) {
 	st, ok := p.nodes[u]
 	if !ok || !p.O.Alive(u) {
 		return
@@ -451,7 +457,7 @@ func (p *Protocol) probe(e *event.Engine, u int) {
 // MaxRetries is exhausted, at which point the cycle fails into the normal
 // Markov back-off. Each retransmission is a fresh packet and takes a fresh
 // random route.
-func (p *Protocol) probeAttempt(e *event.Engine, u int, st *nodeState, firstHopIdx, s, attempt int) {
+func (p *Protocol) probeAttempt(e event.Clock, u int, st *nodeState, firstHopIdx, s, attempt int) {
 	v, path, walked := p.findPartner(u, s)
 	if !walked {
 		p.finishProbe(e, u, st, firstHopIdx, -1, false)
@@ -465,12 +471,12 @@ func (p *Protocol) probeAttempt(e *event.Engine, u int, st *nodeState, firstHopI
 		}
 		p.Counters.Retries++
 		myEpoch := st.epoch
-		e.After(p.retransmitDelay(attempt), func(en *event.Engine) {
+		e.Schedule(p.retransmitDelay(attempt), func() {
 			if cur, ok := p.nodes[u]; !ok || cur != st || st.epoch != myEpoch {
 				p.Counters.StaleTimers++
 				return
 			}
-			p.probeAttempt(en, u, st, firstHopIdx, s, attempt+1)
+			p.probeAttempt(e, u, st, firstHopIdx, s, attempt+1)
 		})
 		return
 	}
@@ -480,7 +486,7 @@ func (p *Protocol) probeAttempt(e *event.Engine, u int, st *nodeState, firstHopI
 
 // finishProbe completes a probe cycle whatever its path: first-hop standing,
 // trace event, Markov timer update, and the next cycle's scheduling.
-func (p *Protocol) finishProbe(e *event.Engine, u int, st *nodeState, firstHopIdx, partner int, success bool) {
+func (p *Protocol) finishProbe(e event.Clock, u int, st *nodeState, firstHopIdx, partner int, success bool) {
 	if firstHopIdx >= 0 {
 		// Update the first hop's standing (maintenance rule; during warm-up
 		// the rotation gives every neighbor a turn).
@@ -508,14 +514,14 @@ func (p *Protocol) finishProbe(e *event.Engine, u int, st *nodeState, firstHopId
 			st.timerMS = p.cfg.InitTimerMS
 		}
 	}
-	st.token = e.After(event.Time(st.timerMS), func(en *event.Engine) { p.probe(en, u) })
+	st.token = e.Schedule(event.Time(st.timerMS), func() { p.probe(e, u) })
 }
 
 // deliverWalk runs the probe's messages past the injector: one forwarding
 // message per walk hop plus the partner's response back to the origin. It
 // reports whether everything arrived; duplicated messages are recognized by
 // their sequence numbers and dropped.
-func (p *Protocol) deliverWalk(e *event.Engine, path []int) bool {
+func (p *Protocol) deliverWalk(e event.Clock, path []int) bool {
 	now := float64(e.Now())
 	for i := 0; i+1 < len(path); i++ {
 		d := p.faults.Deliver(p.O.HostOf(path[i]), p.O.HostOf(path[i+1]), now)
@@ -575,7 +581,7 @@ func (p *Protocol) findPartner(u, s int) (v int, path []int, ok bool) {
 
 // attemptExchange evaluates Var for the (u,v) pair and executes the
 // exchange when profitable. It reports whether an exchange happened.
-func (p *Protocol) attemptExchange(e *event.Engine, u, v int, path []int) bool {
+func (p *Protocol) attemptExchange(e event.Clock, u, v int, path []int) bool {
 	if u == v || !p.O.Alive(u) || !p.O.Alive(v) {
 		return false
 	}
@@ -613,7 +619,7 @@ func (p *Protocol) measureSlots(u, v int) float64 {
 // complete within the evaluation step) and a delivered measurement absorbs
 // the injected queueing jitter into the observed RTT. ok is false when the
 // retry budget ran out.
-func (p *Protocol) measureHostsFaulty(e *event.Engine, a, b int) (float64, bool) {
+func (p *Protocol) measureHostsFaulty(e event.Clock, a, b int) (float64, bool) {
 	now := float64(e.Now())
 	for attempt := 0; ; attempt++ {
 		d := p.faults.Deliver(a, b, now)
@@ -636,7 +642,7 @@ func (p *Protocol) measureHostsFaulty(e *event.Engine, a, b int) (float64, bool)
 // evaluation. Under fault injection a failed measurement poisons the whole
 // evaluation via *failed — the exchange must never execute on incomplete
 // data, or a half-evaluated Var could corrupt the slot↔host mapping.
-func (p *Protocol) hostMeasurer(e *event.Engine, failed *bool) overlay.LatencyFunc {
+func (p *Protocol) hostMeasurer(e event.Clock, failed *bool) overlay.LatencyFunc {
 	if !p.faults.Enabled() {
 		return p.measureHosts
 	}
@@ -654,7 +660,7 @@ func (p *Protocol) hostMeasurer(e *event.Engine, failed *bool) overlay.LatencyFu
 }
 
 // slotMeasurer is hostMeasurer addressed by slots.
-func (p *Protocol) slotMeasurer(e *event.Engine, failed *bool) func(u, v int) float64 {
+func (p *Protocol) slotMeasurer(e event.Clock, failed *bool) func(u, v int) float64 {
 	if !p.faults.Enabled() {
 		return p.measureSlots
 	}
@@ -665,7 +671,7 @@ func (p *Protocol) slotMeasurer(e *event.Engine, failed *bool) func(u, v int) fl
 }
 
 // attemptSwap is the PROP-G exchange: swap positions if Var > MIN_VAR.
-func (p *Protocol) attemptSwap(e *event.Engine, u, v int) bool {
+func (p *Protocol) attemptSwap(e event.Clock, u, v int) bool {
 	degU, degV := p.O.Degree(u), p.O.Degree(v)
 	// Each side probes the other's neighborhood: 2c measurements (§4.3).
 	p.Counters.MeasureMessages += uint64(degU + degV)
@@ -690,7 +696,7 @@ func (p *Protocol) attemptSwap(e *event.Engine, u, v int) bool {
 }
 
 // attemptTrade is the PROP-O exchange: trade the best m neighbors per side.
-func (p *Protocol) attemptTrade(e *event.Engine, u, v int, path []int) bool {
+func (p *Protocol) attemptTrade(e event.Clock, u, v int, path []int) bool {
 	give, take := p.selectTrade(u, v, path)
 	if len(give) == 0 {
 		p.Counters.Rejected++

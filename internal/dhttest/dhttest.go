@@ -70,33 +70,65 @@ type Builder func(hosts []int, lat overlay.LatencyFunc, r *rng.Rand) (DHT, error
 // lineLat is the harness's deterministic latency function.
 func lineLat(a, b int) float64 { return math.Abs(float64(a - b)) }
 
-// Run exercises the full conformance battery against build.
-func Run(t *testing.T, build Builder) {
+// latSource hands each subtest its latency plane. The sim backend returns
+// lineLat directly; the live backend builds a fresh LiveLatency whose
+// answers are real ping RTTs over the loopback transport, charged lineLat/2
+// per leg so measured round trips equal lineLat float-exactly — which is
+// what lets every battery assertion, including the exact-arithmetic ones,
+// run unmodified against both backends.
+type latSource func(t *testing.T) overlay.LatencyFunc
+
+func simLat(t *testing.T) overlay.LatencyFunc { return lineLat }
+
+func liveLat(t *testing.T) overlay.LatencyFunc {
 	t.Helper()
-	t.Run("LookupReachesOwner", func(t *testing.T) { runOwner(t, build) })
-	t.Run("SelfLookupIsFree", func(t *testing.T) { runSelf(t, build) })
-	t.Run("ProcDelayAccounting", func(t *testing.T) { runProc(t, build) })
-	t.Run("SwapInvariance", func(t *testing.T) { runSwap(t, build) })
-	t.Run("LatencyNonNegative", func(t *testing.T) { runNonNegative(t, build) })
-	t.Run("ChurnPhase", func(t *testing.T) { runChurn(t, build) })
-	t.Run("ChurnPhaseCrashStop", func(t *testing.T) { runChurnCrash(t, build) })
+	live := NewLiveLatency(LiveConfig{DelayMS: halfDelay(lineLat)})
+	t.Cleanup(live.Close)
+	return live.Lat
 }
 
-func mustBuild(t *testing.T, build Builder, n int, seed uint64) DHT {
+// Run exercises the full conformance battery against build, once per
+// backend: "sim" evaluates latencies through the oracle function, "live"
+// measures them with real message exchanges over the loopback transport.
+// The battery itself — every predicate, every audit — is shared verbatim.
+func Run(t *testing.T, build Builder) {
+	t.Helper()
+	backends := []struct {
+		name string
+		lat  latSource
+	}{
+		{"sim", simLat},
+		{"live", liveLat},
+	}
+	for _, be := range backends {
+		be := be
+		t.Run(be.name, func(t *testing.T) {
+			t.Run("LookupReachesOwner", func(t *testing.T) { runOwner(t, build, be.lat(t)) })
+			t.Run("SelfLookupIsFree", func(t *testing.T) { runSelf(t, build, be.lat(t)) })
+			t.Run("ProcDelayAccounting", func(t *testing.T) { runProc(t, build, be.lat(t)) })
+			t.Run("SwapInvariance", func(t *testing.T) { runSwap(t, build, be.lat(t)) })
+			t.Run("LatencyNonNegative", func(t *testing.T) { runNonNegative(t, build, be.lat(t)) })
+			t.Run("ChurnPhase", func(t *testing.T) { runChurn(t, build, be.lat(t)) })
+			t.Run("ChurnPhaseCrashStop", func(t *testing.T) { runChurnCrash(t, build, be.lat(t)) })
+		})
+	}
+}
+
+func mustBuild(t *testing.T, build Builder, n int, seed uint64, lat overlay.LatencyFunc) DHT {
 	t.Helper()
 	hosts := make([]int, n)
 	for i := range hosts {
 		hosts[i] = i * 7
 	}
-	d, err := build(hosts, lineLat, rng.New(seed))
+	d, err := build(hosts, lat, rng.New(seed))
 	if err != nil {
 		t.Fatalf("build: %v", err)
 	}
 	return d
 }
 
-func runOwner(t *testing.T, build Builder) {
-	d := mustBuild(t, build, 128, 1)
+func runOwner(t *testing.T, build Builder, lat overlay.LatencyFunc) {
+	d := mustBuild(t, build, 128, 1, lat)
 	r := rng.New(2)
 	for i := 0; i < 300; i++ {
 		key := uint32(r.Uint64())
@@ -111,8 +143,8 @@ func runOwner(t *testing.T, build Builder) {
 	}
 }
 
-func runSelf(t *testing.T, build Builder) {
-	d := mustBuild(t, build, 64, 3)
+func runSelf(t *testing.T, build Builder, lat overlay.LatencyFunc) {
+	d := mustBuild(t, build, 64, 3, lat)
 	r := rng.New(4)
 	checked := 0
 	for i := 0; i < 2000 && checked < 20; i++ {
@@ -133,8 +165,8 @@ func runSelf(t *testing.T, build Builder) {
 	}
 }
 
-func runProc(t *testing.T, build Builder) {
-	d := mustBuild(t, build, 96, 5)
+func runProc(t *testing.T, build Builder, lat overlay.LatencyFunc) {
+	d := mustBuild(t, build, 96, 5, lat)
 	r := rng.New(6)
 	for i := 0; i < 50; i++ {
 		key := uint32(r.Uint64())
@@ -157,8 +189,8 @@ func runProc(t *testing.T, build Builder) {
 	}
 }
 
-func runSwap(t *testing.T, build Builder) {
-	d := mustBuild(t, build, 128, 7)
+func runSwap(t *testing.T, build Builder, lat overlay.LatencyFunc) {
+	d := mustBuild(t, build, 128, 7, lat)
 	r := rng.New(8)
 	// Record owners for a fixed key set.
 	keys := make([]uint32, 100)
@@ -199,8 +231,8 @@ func runSwap(t *testing.T, build Builder) {
 // the true owner within a generous hop bound. All evaluation is routed
 // through the online auditor so churn tests and audited experiment runs
 // exercise the identical predicates.
-func runChurn(t *testing.T, build Builder) {
-	d := mustBuild(t, build, 64, 11)
+func runChurn(t *testing.T, build Builder, lat overlay.LatencyFunc) {
+	d := mustBuild(t, build, 64, 11, lat)
 	c, ok := d.(Churner)
 	if !ok {
 		t.Fatalf("adapter %T does not implement dhttest.Churner; churn conformance is mandatory", d)
@@ -260,8 +292,8 @@ func runChurn(t *testing.T, build Builder) {
 // (CrashSlot must release hosts immediately); the stronger predicates are
 // only demanded after each repair round, matching real failure-recovery
 // semantics.
-func runChurnCrash(t *testing.T, build Builder) {
-	d := mustBuild(t, build, 64, 21)
+func runChurnCrash(t *testing.T, build Builder, lat overlay.LatencyFunc) {
+	d := mustBuild(t, build, 64, 21, lat)
 	cc, ok := d.(CrashChurner)
 	if !ok {
 		t.Fatalf("adapter %T does not implement dhttest.CrashChurner; crash-stop conformance is mandatory", d)
@@ -349,8 +381,8 @@ func runChurnCrash(t *testing.T, build Builder) {
 	}
 }
 
-func runNonNegative(t *testing.T, build Builder) {
-	d := mustBuild(t, build, 64, 9)
+func runNonNegative(t *testing.T, build Builder, lat overlay.LatencyFunc) {
+	d := mustBuild(t, build, 64, 9, lat)
 	r := rng.New(10)
 	for i := 0; i < 200; i++ {
 		_, hops, latency, err := d.Lookup(r.Intn(64), uint32(r.Uint64()), nil)

@@ -1,0 +1,156 @@
+package event
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Canceler is the cancellation face of a scheduled timer: the engine's Token
+// and the WallClock's timers both implement it, so protocol code keeps one
+// stale-timer discipline (cancel on churn, Pending as a stale-fire guard)
+// on either clock.
+type Canceler interface {
+	// Cancel prevents a pending firing and reports whether it did; false is
+	// the stale-timer race (the handler already ran or another Cancel won).
+	Cancel() bool
+	// Pending reports whether the timer is still scheduled.
+	Pending() bool
+}
+
+// Clock is the scheduling seam between the PROP protocols and their
+// environment. The discrete-event Engine implements it on simulated time;
+// WallClock implements it on real time with a serializing run loop. Protocol
+// code written against Clock (internal/core's probe cycles) runs unchanged
+// on either — the decoupling that turns the simulator into a runtime
+// (DESIGN.md §10).
+type Clock interface {
+	// Now returns the current time in milliseconds.
+	Now() Time
+	// Schedule runs f d milliseconds from now and returns a cancellation
+	// handle. Implementations run handlers one at a time, so scheduled code
+	// needs no locking against other handlers on the same clock.
+	Schedule(d Time, f func()) Canceler
+}
+
+// WallClock is the live implementation of Clock: timers fire on real time
+// and handlers execute on a single runner goroutine, preserving the
+// engine's handlers-never-overlap guarantee. Schedule and the timers'
+// Cancel/Pending are safe from any goroutine.
+type WallClock struct {
+	start    time.Time
+	fire     chan func()
+	quit     chan struct{}
+	stopOnce sync.Once
+	done     sync.WaitGroup
+}
+
+// NewWallClock starts a wall clock with its runner goroutine. Call Stop when
+// done.
+func NewWallClock() *WallClock {
+	c := &WallClock{
+		start: time.Now(),
+		fire:  make(chan func(), 128),
+		quit:  make(chan struct{}),
+	}
+	c.done.Add(1)
+	go c.run()
+	return c
+}
+
+func (c *WallClock) run() {
+	defer c.done.Done()
+	for {
+		select {
+		case f := <-c.fire:
+			f()
+		case <-c.quit:
+			return
+		}
+	}
+}
+
+// Now returns milliseconds of real time since the clock was created.
+func (c *WallClock) Now() Time {
+	return Time(float64(time.Since(c.start)) / float64(time.Millisecond))
+}
+
+// Schedule runs f after d milliseconds of real time on the runner goroutine.
+// Unlike the engine — where scheduling in the past is a protocol bug — a
+// non-positive delay fires as soon as the runner is free: wall time advances
+// between computing a deadline and scheduling it, so "already due" is an
+// environmental condition here.
+func (c *WallClock) Schedule(d Time, f func()) Canceler {
+	if f == nil {
+		panic("event: nil handler")
+	}
+	if d < 0 {
+		d = 0
+	}
+	t := &wallTimer{}
+	t.timer = time.AfterFunc(time.Duration(float64(d)*float64(time.Millisecond)), func() {
+		// Claim the firing before enqueueing so a concurrent Cancel either
+		// prevents the handler entirely or observes it as already done.
+		if !t.state.CompareAndSwap(statePending, stateDone) {
+			return
+		}
+		select {
+		case c.fire <- f:
+		case <-c.quit:
+		}
+	})
+	return t
+}
+
+// Sync runs f on the runner goroutine and waits for it to return, giving
+// callers a race-free view of state that handlers mutate (handlers never
+// overlap, and f runs as one). After Stop the runner is gone and nothing
+// mutates that state anymore, so f runs on the caller's goroutine instead.
+func (c *WallClock) Sync(f func()) {
+	done := make(chan struct{})
+	select {
+	case c.fire <- func() { f(); close(done) }:
+	case <-c.quit:
+		c.done.Wait()
+		f()
+		return
+	}
+	select {
+	case <-done:
+	case <-c.quit:
+		// The runner is draining out; it either ran f before exiting or left
+		// it queued forever. Wait for it to be gone, then settle which.
+		c.done.Wait()
+		select {
+		case <-done:
+		default:
+			f()
+		}
+	}
+}
+
+// Stop terminates the runner goroutine. Timers that fire afterwards are
+// dropped. Stop is idempotent and waits for the runner to exit, so no
+// handler is mid-flight when it returns.
+func (c *WallClock) Stop() {
+	c.stopOnce.Do(func() { close(c.quit) })
+	c.done.Wait()
+}
+
+type wallTimer struct {
+	timer *time.Timer
+	state atomic.Int32
+}
+
+// Cancel prevents a pending firing; it reports false when the timer already
+// claimed its firing (the live-path stale-timer race) or was cancelled.
+func (t *wallTimer) Cancel() bool {
+	if !t.state.CompareAndSwap(statePending, stateCancelled) {
+		return false
+	}
+	t.timer.Stop()
+	return true
+}
+
+// Pending reports whether the timer has neither fired nor been cancelled.
+func (t *wallTimer) Pending() bool { return t.state.Load() == statePending }

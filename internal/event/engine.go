@@ -15,6 +15,7 @@ package event
 import (
 	"container/heap"
 	"fmt"
+	"sync/atomic"
 )
 
 // Time is simulated time in milliseconds since the start of the run.
@@ -79,7 +80,10 @@ func (e *Engine) After(delay Time, h Handler) *Token {
 func (e *Engine) Step() bool {
 	for len(e.queue) > 0 {
 		ev := heap.Pop(&e.queue).(*item)
-		if ev.cancelled {
+		// Claiming the event (pending → done) and cancelling race only when
+		// a live driver cancels tokens from another goroutine; the CAS makes
+		// that race well-defined — exactly one side wins.
+		if !ev.state.CompareAndSwap(statePending, stateDone) {
 			continue
 		}
 		if e.Observer != nil {
@@ -87,7 +91,6 @@ func (e *Engine) Step() bool {
 		}
 		e.now = ev.at
 		e.steps++
-		ev.done = true
 		ev.h(e)
 		return true
 	}
@@ -132,7 +135,7 @@ func (e *Engine) Run(maxSteps uint64) uint64 {
 
 func (e *Engine) peek() *item {
 	for len(e.queue) > 0 {
-		if !e.queue[0].cancelled {
+		if e.queue[0].state.Load() == statePending {
 			return e.queue[0]
 		}
 		heap.Pop(&e.queue)
@@ -140,7 +143,20 @@ func (e *Engine) peek() *item {
 	return nil
 }
 
-// Token cancels a scheduled event.
+// Schedule implements the Clock interface: it runs f d milliseconds from
+// now. The engine is one Clock among several (see WallClock); protocol code
+// written against Clock runs unchanged on simulated or wall time.
+func (e *Engine) Schedule(d Time, f func()) Canceler {
+	if f == nil {
+		panic("event: nil handler")
+	}
+	return e.After(d, func(*Engine) { f() })
+}
+
+// Token cancels a scheduled event. Cancel and Pending are safe to call from
+// any goroutine — the live runtime cancels sim-style tokens from transport
+// goroutines — though the engine itself must still be stepped from a single
+// goroutine.
 type Token struct{ item *item }
 
 // Cancel marks the event as cancelled; it will be skipped when its time
@@ -148,14 +164,13 @@ type Token struct{ item *item }
 // false means the event had already executed or been cancelled, which is
 // precisely the stale-timer race — a retransmit timer whose response arrived
 // in the same tick — so callers can count it (metrics.Counters.StaleTimers)
-// instead of silently double-cancelling.
+// instead of silently double-cancelling. Concurrent Cancel calls on the same
+// token resolve atomically: exactly one reports true for a pending event.
 func (t *Token) Cancel() bool {
 	if t == nil || t.item == nil {
 		return false
 	}
-	live := !t.item.done && !t.item.cancelled
-	t.item.cancelled = true
-	return live
+	return t.item.state.CompareAndSwap(statePending, stateCancelled)
 }
 
 // Pending reports whether the event is still scheduled: not yet executed and
@@ -163,16 +178,24 @@ func (t *Token) Cancel() bool {
 // that captured its own token can tell whether it is the current incarnation
 // of the timer.
 func (t *Token) Pending() bool {
-	return t != nil && t.item != nil && !t.item.done && !t.item.cancelled
+	return t != nil && t.item != nil && t.item.state.Load() == statePending
 }
 
+// Timer lifecycle states shared by the engine's Token and the WallClock's
+// timers: pending → done (fired) or pending → cancelled, decided by CAS so
+// that a handler firing and a cross-goroutine Cancel never both win.
+const (
+	statePending int32 = iota
+	stateDone
+	stateCancelled
+)
+
 type item struct {
-	at        Time
-	seq       uint64
-	h         Handler
-	cancelled bool
-	done      bool
-	index     int
+	at    Time
+	seq   uint64
+	h     Handler
+	state atomic.Int32
+	index int
 }
 
 type eventHeap []*item

@@ -233,6 +233,67 @@ func (in *Injector) Deliver(a, b int, nowMS float64) Delivery {
 	return d
 }
 
+// Message-fault salts: each per-message draw of DeliverStateless hashes the
+// same (seed, direction, seq) tuple under a distinct salt so the loss, dup,
+// and jitter verdicts are statistically independent.
+const (
+	saltLoss uint64 = 1 + iota
+	saltDup
+	saltJitter
+)
+
+// DeliverStateless decides the fate of one message as a pure function of
+// (seed, direction a→b, seq) — no generator state is consumed, so the
+// verdict is independent of global delivery order. This is the face the
+// live transports use (internal/transport): a concurrent runtime cannot
+// guarantee a total order on Deliver calls, but per-link sequence numbers
+// are ordered per sender, so hashing them keeps a seeded live run's fault
+// schedule reproducible (the figR-style determinism contract, outside the
+// simulator). nowMS positions the message against the partition and
+// link-outage windows, exactly as in Deliver.
+//
+// Unlike Deliver, no Stats are tallied — the function is pure; transports
+// own their delivery accounting (e.g. transport.Loopback's drop log).
+func (in *Injector) DeliverStateless(a, b int, seq uint64, nowMS float64) Delivery {
+	if in == nil {
+		return Delivery{}
+	}
+	if in.Partitioned(a, b, nowMS) {
+		return Delivery{Lost: true, Reason: ReasonPartition}
+	}
+	if in.LinkDown(a, b, nowMS) {
+		return Delivery{Lost: true, Reason: ReasonLinkDown}
+	}
+	var d Delivery
+	if in.cfg.LossProb > 0 && unit(msgHash(in.cfg.Seed, a, b, seq, saltLoss)) < in.cfg.LossProb {
+		return Delivery{Lost: true, Reason: ReasonLoss}
+	}
+	if in.cfg.DupProb > 0 && unit(msgHash(in.cfg.Seed, a, b, seq, saltDup)) < in.cfg.DupProb {
+		d.Dup = true
+	}
+	if in.cfg.JitterMS > 0 {
+		d.DelayMS = unit(msgHash(in.cfg.Seed, a, b, seq, saltJitter)) * in.cfg.JitterMS
+	}
+	return d
+}
+
+// msgHash mixes (seed, directed link, per-link sequence number, salt) into
+// 64 well-mixed bits. Direction matters — a→b and b→a are independent
+// message streams — unlike linkHash, whose outages are link-symmetric.
+func msgHash(seed uint64, a, b int, seq, salt uint64) uint64 {
+	x := seed ^ 0x9e3779b97f4a7c15
+	for _, w := range [...]uint64{uint64(a), uint64(b), seq, salt} {
+		x += w + 0x9e3779b97f4a7c15
+		x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+		x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+		x ^= x >> 31
+	}
+	return x
+}
+
+// unit maps 64 hash bits onto [0,1) with 53-bit precision.
+func unit(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+
 // Partitioned reports whether hosts a and b are on opposite sides of the
 // partition cut at time nowMS.
 func (in *Injector) Partitioned(a, b int, nowMS float64) bool {
@@ -258,7 +319,7 @@ func (in *Injector) LinkDown(a, b int, nowMS float64) bool {
 	}
 	window := uint64(nowMS / in.period)
 	h := linkHash(in.cfg.Seed, uint64(a), uint64(b), window)
-	return float64(h>>11)/(1<<53) < in.cfg.LinkFailProb
+	return unit(h) < in.cfg.LinkFailProb
 }
 
 // linkHash mixes (seed, link endpoints, outage window) into 64 well-mixed

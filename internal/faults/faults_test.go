@@ -211,3 +211,103 @@ func TestReasonString(t *testing.T) {
 		}
 	}
 }
+
+func TestDeliverStatelessDeterministicAndOrderFree(t *testing.T) {
+	in, err := NewInjector(Config{Seed: 99, LossProb: 0.2, DupProb: 0.1, JitterMS: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The verdict for (link, seq) must not depend on what was asked before:
+	// record a schedule, interleave unrelated traffic, re-ask in a different
+	// order, and require identical verdicts.
+	type key struct {
+		a, b int
+		seq  uint64
+	}
+	first := make(map[key]Delivery)
+	for seq := uint64(0); seq < 200; seq++ {
+		for _, l := range [][2]int{{1, 2}, {2, 1}, {3, 7}} {
+			first[key{l[0], l[1], seq}] = in.DeliverStateless(l[0], l[1], seq, 0)
+		}
+	}
+	for seq := uint64(199); ; seq-- {
+		for _, l := range [][2]int{{3, 7}, {1, 2}, {2, 1}} {
+			in.Deliver(l[0], l[1], 0) // interleaved stateful traffic must not perturb
+			got := in.DeliverStateless(l[0], l[1], seq, 0)
+			if want := first[key{l[0], l[1], seq}]; got != want {
+				t.Fatalf("DeliverStateless(%d,%d,%d) = %+v, was %+v", l[0], l[1], seq, got, want)
+			}
+		}
+		if seq == 0 {
+			break
+		}
+	}
+	// A second injector with the same config reproduces the schedule.
+	in2, err := NewInjector(Config{Seed: 99, LossProb: 0.2, DupProb: 0.1, JitterMS: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, want := range first {
+		if got := in2.DeliverStateless(k.a, k.b, k.seq, 0); got != want {
+			t.Fatalf("fresh injector: DeliverStateless(%d,%d,%d) = %+v, want %+v", k.a, k.b, k.seq, got, want)
+		}
+	}
+}
+
+func TestDeliverStatelessRates(t *testing.T) {
+	in, err := NewInjector(Config{Seed: 5, LossProb: 0.3, DupProb: 0.2, JitterMS: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	lost, dups := 0, 0
+	var jitter float64
+	for seq := uint64(0); seq < n; seq++ {
+		d := in.DeliverStateless(4, 9, seq, 0)
+		if d.Lost {
+			if d.Reason != ReasonLoss {
+				t.Fatalf("seq %d: loss with reason %v", seq, d.Reason)
+			}
+			lost++
+			continue
+		}
+		if d.Dup {
+			dups++
+		}
+		if d.DelayMS < 0 || d.DelayMS >= 10 {
+			t.Fatalf("seq %d: jitter %v out of [0,10)", seq, d.DelayMS)
+		}
+		jitter += d.DelayMS
+	}
+	if r := float64(lost) / n; r < 0.27 || r > 0.33 {
+		t.Fatalf("loss rate %.4f, want ~0.30", r)
+	}
+	if r := float64(dups) / float64(n-lost); r < 0.17 || r > 0.23 {
+		t.Fatalf("dup rate %.4f, want ~0.20", r)
+	}
+	if mean := jitter / float64(n-lost); mean < 4 || mean > 6 {
+		t.Fatalf("mean jitter %.3f, want ~5", mean)
+	}
+	if s := in.Stats(); s.Messages != 0 {
+		t.Fatalf("stateless path tallied %d messages; it must stay pure", s.Messages)
+	}
+}
+
+func TestDeliverStatelessNilAndWindows(t *testing.T) {
+	var nilInj *Injector
+	if d := nilInj.DeliverStateless(1, 2, 0, 0); d.Lost || d.Dup || d.DelayMS != 0 {
+		t.Fatalf("nil injector verdict %+v, want clean delivery", d)
+	}
+	in, err := NewInjector(Config{
+		Seed: 3, PartitionStartMS: 100, PartitionStopMS: 200, Isolated: map[int]bool{2: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := in.DeliverStateless(1, 2, 7, 150); !d.Lost || d.Reason != ReasonPartition {
+		t.Fatalf("in-window cross-cut verdict %+v, want partition drop", d)
+	}
+	if d := in.DeliverStateless(1, 2, 7, 250); d.Lost {
+		t.Fatalf("post-window verdict %+v, want delivery", d)
+	}
+}

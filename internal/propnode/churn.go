@@ -1,0 +1,152 @@
+package propnode
+
+import (
+	"fmt"
+
+	"repro/internal/gnutella"
+)
+
+// Membership: the runtime reuses internal/gnutella's unstructured join,
+// graceful leave, and crash-stop repair over the shared overlay, and layers
+// the live concerns on top — endpoints open and close with the node, agents
+// start and stop, and affected survivors get the §3.2 timer reset.
+
+// Join brings a new host online: wire it into the overlay, open its
+// endpoint, start its agent, and kick its new neighbors.
+func (rt *Runtime) Join(host int) (int, error) {
+	rt.mu.Lock()
+	if rt.o == nil || rt.stopped {
+		rt.mu.Unlock()
+		return 0, fmt.Errorf("propnode: join on a stopped runtime")
+	}
+	gcfg := gnutella.Config{LinksPerJoin: rt.cfg.LinksPerJoin}
+	slot, err := gnutella.Join(rt.o, host, gcfg, rt.r)
+	if err != nil {
+		rt.mu.Unlock()
+		return 0, err
+	}
+	if err := rt.spawnLocked(host); err != nil {
+		rt.mu.Unlock()
+		return 0, err
+	}
+	neighbors := rt.o.Neighbors(slot)
+	affected := rt.agentsForLocked(neighbors)
+	rt.mu.Unlock()
+	kickAll(affected)
+	return slot, nil
+}
+
+// Leave takes the slot's host offline gracefully: stop its agent, repair
+// the overlay around it, close its endpoint, kick the former neighbors.
+func (rt *Runtime) Leave(slot int) error {
+	rt.mu.Lock()
+	if rt.o == nil || !rt.o.Alive(slot) {
+		rt.mu.Unlock()
+		return fmt.Errorf("propnode: leave(%d) on dead slot", slot)
+	}
+	host := rt.o.HostOf(slot)
+	former := rt.o.Neighbors(slot)
+	a := rt.agents[host]
+	delete(rt.agents, host)
+	rt.mu.Unlock()
+
+	// Quiesce the departing agent before rewiring, so it cannot race its
+	// own probe against the repair.
+	if a != nil {
+		close(a.stop)
+	}
+
+	rt.mu.Lock()
+	gcfg := gnutella.Config{LinksPerJoin: rt.cfg.LinksPerJoin}
+	if err := gnutella.Leave(rt.o, slot, gcfg, rt.r); err != nil {
+		rt.mu.Unlock()
+		if a != nil {
+			a.node.Close()
+		}
+		return err
+	}
+	affected := rt.agentsForLocked(former)
+	rt.mu.Unlock()
+
+	if a != nil {
+		a.node.Close()
+	}
+	kickAll(affected)
+	return nil
+}
+
+// Crash kills the slot's host crash-stop: the endpoint vanishes mid-flight
+// (in-progress calls to it time out), survivors keep stale references until
+// eviction or RepairCrashed catches up — nobody is notified.
+func (rt *Runtime) Crash(slot int) error {
+	rt.mu.Lock()
+	if rt.o == nil || !rt.o.Alive(slot) {
+		rt.mu.Unlock()
+		return fmt.Errorf("propnode: crash(%d) on dead slot", slot)
+	}
+	host := rt.o.HostOf(slot)
+	if err := rt.o.CrashSlot(slot); err != nil {
+		rt.mu.Unlock()
+		return err
+	}
+	a := rt.agents[host]
+	delete(rt.agents, host)
+	rt.mu.Unlock()
+
+	if a != nil {
+		close(a.stop)
+		a.node.Close()
+	}
+	return nil
+}
+
+// RepairCrashed runs one failure-recovery round over the whole overlay and
+// kicks every surviving agent (their neighborhoods may have been patched).
+// It reports how many corpses were repaired.
+func (rt *Runtime) RepairCrashed() (int, error) {
+	rt.mu.Lock()
+	if rt.o == nil {
+		rt.mu.Unlock()
+		return 0, fmt.Errorf("propnode: repair on a stopped runtime")
+	}
+	gcfg := gnutella.Config{LinksPerJoin: rt.cfg.LinksPerJoin}
+	n, err := gnutella.RepairCrashed(rt.o, gcfg, rt.r)
+	if err != nil {
+		rt.mu.Unlock()
+		return n, err
+	}
+	var affected []*agent
+	if n > 0 {
+		for _, a := range rt.agents {
+			affected = append(affected, a)
+		}
+	}
+	rt.mu.Unlock()
+	kickAll(affected)
+	return n, nil
+}
+
+// agentsForLocked resolves live agents for the given slots. Caller holds rt.mu.
+func (rt *Runtime) agentsForLocked(slots []int) []*agent {
+	var out []*agent
+	for _, s := range slots {
+		if !rt.o.Alive(s) {
+			continue
+		}
+		if a, ok := rt.agents[rt.o.HostOf(s)]; ok {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// kickAll delivers the timer-reset nudge without blocking: a full kick
+// channel means a reset is already pending.
+func kickAll(agents []*agent) {
+	for _, a := range agents {
+		select {
+		case a.kick <- struct{}{}:
+		default:
+		}
+	}
+}

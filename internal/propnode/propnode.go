@@ -1,0 +1,644 @@
+// Package propnode runs PROP agents as goroutines speaking PROP-G/PROP-O
+// over a transport.Network — the live counterpart of the discrete-event
+// simulation in internal/core. Each physical host gets one agent: a
+// transport.Node (message pump), a probe loop on the wall clock with the
+// §3.2 Markov back-off, and handlers that forward TTL walks and answer
+// measurement RPCs. Every latency the protocol consumes is a real RTT
+// measured by exchanging messages (Node.Ping or a TMeasure relay) — no
+// oracle lookups — and lost messages ride the transport's timeout +
+// bounded-retransmit machinery.
+//
+// Concurrency model: the overlay (and the runtime RNG) live under one
+// mutex. Message pumps never take it — pings are always answered — and
+// walk-forwarding and measurement handlers run on spawned goroutines, so an
+// agent may hold the runtime lock across a full Var evaluation (which pings
+// peers through their pumps) without deadlock. Exchanges are therefore
+// serialized, walks and probes run concurrently, and churn (join, leave,
+// crash, repair) mirrors the unstructured membership of internal/gnutella.
+//
+// Key types: Runtime, Config. See DESIGN.md §10 ("Live runtime").
+package propnode
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gnutella"
+	"repro/internal/overlay"
+	"repro/internal/rng"
+	"repro/internal/transport"
+)
+
+// Config parameterizes a live runtime. Zero values select the defaults
+// noted on each field.
+type Config struct {
+	// Policy selects PROP-G (host swap) or PROP-O (m-neighbor trade).
+	Policy core.Policy
+	// NHops is the probing walk's TTL (default 2, the paper's choice).
+	NHops int
+	// M is the PROP-O trade size (0 = the overlay's min degree at start).
+	M int
+	// MinVar is the exchange threshold (§4.2 derives 0).
+	MinVar float64
+	// ProbeIntervalMS is INIT_TIMER on the wall clock (default 50ms — scaled
+	// down from the paper's minute so tests converge in test time).
+	ProbeIntervalMS float64
+	// MaxInitTrials is the warm-up length (default 10).
+	MaxInitTrials int
+	// MaxTimerFactor caps the Markov back-off (default 32).
+	MaxTimerFactor float64
+	// PingTimeout is the first-attempt deadline of every call — pings,
+	// measurement RPCs, walks (default 50ms; retransmits double it).
+	PingTimeout time.Duration
+	// Retries bounds retransmissions per call (default 3).
+	Retries int
+	// LinksPerJoin is the unstructured membership degree (default 4).
+	LinksPerJoin int
+	// Lat is the ground-truth latency model recorded in the overlay for
+	// metrics like MeanLinkLatency; the protocol itself never reads it. Nil
+	// means metrics report zero (e.g. over real UDP, where there is no
+	// ground truth to compare against).
+	Lat overlay.LatencyFunc
+	// Seed drives all runtime randomness (walk hops, trade selection,
+	// membership wiring, probe staggering).
+	Seed uint64
+}
+
+func (c *Config) fill() {
+	if c.NHops == 0 {
+		c.NHops = 2
+	}
+	if c.ProbeIntervalMS == 0 {
+		c.ProbeIntervalMS = 50
+	}
+	if c.MaxInitTrials == 0 {
+		c.MaxInitTrials = 10
+	}
+	if c.MaxTimerFactor == 0 {
+		c.MaxTimerFactor = 32
+	}
+	if c.PingTimeout == 0 {
+		c.PingTimeout = 50 * time.Millisecond
+	}
+	if c.Retries == 0 {
+		c.Retries = 3
+	}
+	if c.LinksPerJoin == 0 {
+		c.LinksPerJoin = 4
+	}
+	if c.Lat == nil {
+		c.Lat = func(a, b int) float64 { return 0 }
+	}
+}
+
+// Counters tallies the runtime's protocol activity. Snapshot via
+// Runtime.Counters.
+type Counters struct {
+	// Probes counts timer firings that attempted a probe cycle.
+	Probes uint64
+	// Exchanges counts executed peer-exchanges.
+	Exchanges uint64
+	// Rejected counts evaluated-but-unprofitable (or raced) exchanges.
+	Rejected uint64
+	// WalkFailures counts probing walks that dead-ended or timed out.
+	WalkFailures uint64
+	// MeasureFailures counts Var evaluations aborted by a failed RTT probe.
+	MeasureFailures uint64
+}
+
+// Runtime is a set of live PROP agents over one transport network.
+type Runtime struct {
+	cfg Config
+	net transport.Network
+
+	mu     sync.Mutex
+	o      *overlay.Overlay
+	r      *rng.Rand
+	agents map[int]*agent // by host
+	m      int            // resolved PROP-O trade size
+
+	wg      sync.WaitGroup
+	stopped bool
+
+	probes       atomic.Uint64
+	exchanges    atomic.Uint64
+	rejected     atomic.Uint64
+	walkFails    atomic.Uint64
+	measureFails atomic.Uint64
+}
+
+type agent struct {
+	host  int
+	node  *transport.Node
+	queue []queueEntry // first-hop priority queue, reconciled lazily
+	qseq  int
+	stop  chan struct{}
+	kick  chan struct{} // neighbor-change notification: reset the timer
+
+	trials  int
+	timerMS float64
+}
+
+type queueEntry struct {
+	neighbor int // slot
+	prio     int
+	seq      int
+}
+
+// New builds a runtime over net. Start must be called before the agents do
+// anything.
+func New(net transport.Network, cfg Config) *Runtime {
+	cfg.fill()
+	return &Runtime{
+		cfg:    cfg,
+		net:    net,
+		r:      rng.New(cfg.Seed),
+		agents: make(map[int]*agent),
+	}
+}
+
+// Start builds the unstructured overlay over hosts ("based on a random
+// assignment", as the paper's unstructured substrate joins) and brings one
+// agent per host online.
+func (rt *Runtime) Start(hosts []int) error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.o != nil {
+		return fmt.Errorf("propnode: already started")
+	}
+	gcfg := gnutella.Config{LinksPerJoin: rt.cfg.LinksPerJoin}
+	o, err := gnutella.Build(hosts, gcfg, rt.cfg.Lat, rt.r)
+	if err != nil {
+		return fmt.Errorf("propnode: build overlay: %w", err)
+	}
+	rt.o = o
+	rt.m = rt.cfg.M
+	if rt.m == 0 {
+		rt.m = o.Logical.MinDegree()
+		if rt.m < 1 {
+			rt.m = 1
+		}
+	}
+	for _, h := range hosts {
+		if err := rt.spawnLocked(h); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// spawnLocked opens host's endpoint and starts its agent. Caller holds rt.mu.
+func (rt *Runtime) spawnLocked(host int) error {
+	ep, err := rt.net.Open(host)
+	if err != nil {
+		return fmt.Errorf("propnode: open host %d: %w", host, err)
+	}
+	a := &agent{
+		host: host,
+		node: transport.NewNode(ep),
+		stop: make(chan struct{}),
+		kick: make(chan struct{}, 1),
+	}
+	a.node.Handle(func(in transport.Inbound) {
+		// Handlers must not block the pump: forwarders and measurement
+		// relays take locks and make their own calls, so they get their own
+		// goroutines.
+		switch in.Msg.Type {
+		case transport.TWalk:
+			go rt.handleWalk(a, in.Msg)
+		case transport.TMeasure:
+			go rt.handleMeasure(a, in.Msg)
+		}
+	})
+	rt.agents[host] = a
+	rt.wg.Add(1)
+	stagger := time.Duration(rt.r.Float64()*rt.cfg.ProbeIntervalMS) * time.Millisecond
+	go rt.runAgent(a, stagger)
+	return nil
+}
+
+// Overlay exposes the shared overlay. Safe to inspect after Stop, or under
+// external quiescence; concurrent mutation is the runtime's. While agents
+// are running, read through View instead.
+func (rt *Runtime) Overlay() *overlay.Overlay { return rt.o }
+
+// View runs f with the runtime lock held — the way to take consistent
+// readings of the shared overlay while agents are live.
+func (rt *Runtime) View(f func(o *overlay.Overlay)) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	f(rt.o)
+}
+
+// Counters snapshots protocol activity.
+func (rt *Runtime) Counters() Counters {
+	return Counters{
+		Probes:          rt.probes.Load(),
+		Exchanges:       rt.exchanges.Load(),
+		Rejected:        rt.rejected.Load(),
+		WalkFailures:    rt.walkFails.Load(),
+		MeasureFailures: rt.measureFails.Load(),
+	}
+}
+
+// M returns the resolved PROP-O trade size.
+func (rt *Runtime) M() int { return rt.m }
+
+// Stop quiesces every agent (probe loops first, then pumps) and waits.
+func (rt *Runtime) Stop() {
+	rt.mu.Lock()
+	if rt.stopped {
+		rt.mu.Unlock()
+		return
+	}
+	rt.stopped = true
+	agents := make([]*agent, 0, len(rt.agents))
+	for _, a := range rt.agents {
+		agents = append(agents, a)
+	}
+	rt.mu.Unlock()
+	for _, a := range agents {
+		close(a.stop)
+	}
+	rt.wg.Wait()
+	for _, a := range agents {
+		a.node.Close()
+	}
+}
+
+// runAgent is one agent's probe loop: stagger, then fire every timerMS with
+// the §3.2 Markov back-off — doubled on failure, reset to INIT_TIMER on
+// success or past the cap, reset by churn kicks.
+func (rt *Runtime) runAgent(a *agent, stagger time.Duration) {
+	defer rt.wg.Done()
+	a.timerMS = rt.cfg.ProbeIntervalMS
+	timer := time.NewTimer(stagger)
+	defer timer.Stop()
+	for {
+		select {
+		case <-a.stop:
+			return
+		case <-a.kick:
+			// §3.2 churn rule: neighbors changed — reset to INIT_TIMER.
+			a.timerMS = rt.cfg.ProbeIntervalMS
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			timer.Reset(time.Duration(a.timerMS * float64(time.Millisecond)))
+			continue
+		case <-timer.C:
+		}
+		success := rt.probeOnce(a)
+		a.trials++
+		if a.trials <= rt.cfg.MaxInitTrials || success {
+			a.timerMS = rt.cfg.ProbeIntervalMS
+		} else {
+			a.timerMS *= 2
+			if a.timerMS > rt.cfg.MaxTimerFactor*rt.cfg.ProbeIntervalMS {
+				a.timerMS = rt.cfg.ProbeIntervalMS
+			}
+		}
+		timer.Reset(time.Duration(a.timerMS * float64(time.Millisecond)))
+	}
+}
+
+// reconcileQueueLocked mirrors internal/core's lazy queue maintenance:
+// drop ex-neighbors, insert fresh ones at the front. Caller holds rt.mu.
+func (rt *Runtime) reconcileQueueLocked(a *agent, u int) {
+	current := rt.o.Neighbors(u)
+	inSet := make(map[int]bool, len(current))
+	for _, nb := range current {
+		if rt.o.Alive(nb) {
+			inSet[nb] = true
+		}
+	}
+	kept := a.queue[:0]
+	seen := make(map[int]bool, len(a.queue))
+	minPrio := 0
+	for _, qe := range a.queue {
+		if inSet[qe.neighbor] && !seen[qe.neighbor] {
+			kept = append(kept, qe)
+			seen[qe.neighbor] = true
+			if qe.prio < minPrio {
+				minPrio = qe.prio
+			}
+		}
+	}
+	a.queue = kept
+	for nb := range inSet {
+		if !seen[nb] {
+			a.queue = append(a.queue, queueEntry{neighbor: nb, prio: minPrio - 1, seq: a.qseq})
+			a.qseq++
+		}
+	}
+	sort.Slice(a.queue, func(i, j int) bool {
+		if a.queue[i].prio != a.queue[j].prio {
+			return a.queue[i].prio < a.queue[j].prio
+		}
+		return a.queue[i].seq < a.queue[j].seq
+	})
+}
+
+// probeOnce runs one §3.2 probe cycle for a: pick a first hop from the
+// queue, walk the wire to a partner NHops away, evaluate Var from measured
+// RTTs, exchange if profitable. Reports success (an executed exchange).
+func (rt *Runtime) probeOnce(a *agent) bool {
+	rt.probes.Add(1)
+
+	rt.mu.Lock()
+	u := rt.o.SlotOfHost(a.host)
+	if u < 0 || !rt.o.Alive(u) {
+		rt.mu.Unlock()
+		return false
+	}
+	// Live liveness eviction: a crashed neighbor never answers, so the
+	// agent drops the stale reference before choosing a first hop.
+	rt.o.EvictDeadNeighbors(u)
+	rt.reconcileQueueLocked(a, u)
+	if len(a.queue) == 0 {
+		rt.mu.Unlock()
+		rt.walkFails.Add(1)
+		return false
+	}
+	firstIdx := 0 // queue is sorted: minimum priority, FIFO tie-break
+	s := a.queue[firstIdx].neighbor
+	sHost := rt.o.HostOf(s)
+	walkReq := transport.Message{
+		Type: transport.TWalk,
+		TTL:  uint8(rt.cfg.NHops - 1),
+		Key:  uint32(a.host),
+		Path: []int{u, s},
+	}
+	rt.mu.Unlock()
+
+	reply, err := a.node.Call(sHost, walkReq, rt.cfg.PingTimeout, rt.cfg.Retries)
+	walked := err == nil && reply.Msg.TTL == 1 && len(reply.Msg.Path) >= 2
+	success := false
+	partnerTried := false
+	if walked {
+		path := reply.Msg.Path
+		v := path[len(path)-1]
+		success, partnerTried = rt.attemptExchange(a, u, v, path)
+	}
+	if !walked {
+		rt.walkFails.Add(1)
+	}
+	_ = partnerTried
+
+	// First-hop standing + queue update, exactly core's maintenance rule.
+	rt.mu.Lock()
+	if len(a.queue) > firstIdx && a.queue[firstIdx].neighbor == s {
+		maxPrio := 0
+		for _, qe := range a.queue {
+			if qe.prio > maxPrio {
+				maxPrio = qe.prio
+			}
+		}
+		if a.trials < rt.cfg.MaxInitTrials {
+			a.queue[firstIdx].prio = maxPrio + 1
+		} else if success {
+			a.queue[firstIdx].prio--
+		} else {
+			a.queue[firstIdx].prio = maxPrio + 1
+		}
+	}
+	rt.mu.Unlock()
+	return success
+}
+
+// attemptExchange evaluates Var for (u,v) over live measurements and
+// commits the exchange when profitable. The runtime lock is held across
+// evaluation and commit — pumps never take it, so the measurement traffic
+// this generates cannot deadlock (see the package comment).
+func (rt *Runtime) attemptExchange(a *agent, u, v int, path []int) (success, tried bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	// Optimistic concurrency: the walk ran without the lock, so the world
+	// may have moved. Re-validate before measuring.
+	if rt.o.SlotOfHost(a.host) != u || u == v || !rt.o.Alive(u) || !rt.o.Alive(v) {
+		rt.rejected.Add(1)
+		return false, false
+	}
+
+	var failed bool
+	measureHosts := func(x, y int) float64 {
+		if failed || x == y {
+			return 0
+		}
+		rtt, err := rt.measureFrom(a, x, y)
+		if err != nil {
+			failed = true
+			return 0
+		}
+		return rtt
+	}
+
+	switch rt.cfg.Policy {
+	case core.PROPG:
+		gain := rt.o.SwapGainMeasured(u, v, measureHosts)
+		if failed {
+			rt.measureFails.Add(1)
+			return false, true
+		}
+		if gain <= rt.cfg.MinVar {
+			rt.rejected.Add(1)
+			return false, true
+		}
+		if err := rt.o.SwapHosts(u, v); err != nil {
+			rt.rejected.Add(1)
+			return false, true
+		}
+	case core.PROPO:
+		give, take := rt.selectTradeLocked(u, v, path)
+		if len(give) == 0 {
+			rt.rejected.Add(1)
+			return false, true
+		}
+		measureSlots := func(x, y int) float64 {
+			return measureHosts(rt.o.HostOf(x), rt.o.HostOf(y))
+		}
+		gain := rt.o.ExchangeGainMeasured(u, v, give, take, measureSlots)
+		if failed {
+			rt.measureFails.Add(1)
+			return false, true
+		}
+		if gain <= rt.cfg.MinVar {
+			rt.rejected.Add(1)
+			return false, true
+		}
+		if err := rt.o.ExchangeNeighbors(u, v, give, take, path); err != nil {
+			rt.rejected.Add(1)
+			return false, true
+		}
+	default:
+		return false, false
+	}
+	rt.exchanges.Add(1)
+	return true, true
+}
+
+// measureFrom returns the live RTT between hosts x and y, measured from x's
+// vantage point: a's own ping when x is a's host, otherwise a TMeasure
+// relay asking x to probe y — "each side probes its own neighborhood"
+// (§4.3), as messages on the wire.
+func (rt *Runtime) measureFrom(a *agent, x, y int) (float64, error) {
+	if x == a.host {
+		return a.node.Ping(y, rt.cfg.PingTimeout, rt.cfg.Retries)
+	}
+	body := make([]byte, 8)
+	binary.BigEndian.PutUint64(body, uint64(int64(y)))
+	reply, err := a.node.Call(x, transport.Message{Type: transport.TMeasure, Body: body},
+		rt.cfg.PingTimeout, rt.cfg.Retries)
+	if err != nil {
+		return 0, err
+	}
+	if reply.Msg.TTL != 1 || len(reply.Msg.Body) != 8 {
+		return 0, fmt.Errorf("propnode: measure relay %d→%d failed", x, y)
+	}
+	rtt := math.Float64frombits(binary.BigEndian.Uint64(reply.Msg.Body))
+	if rtt < 0 || math.IsNaN(rtt) {
+		return 0, fmt.Errorf("propnode: measure relay %d→%d reported %v", x, y, rtt)
+	}
+	return rtt, nil
+}
+
+// selectTradeLocked mirrors internal/core's PROP-O candidate selection:
+// random eligible m-subsets per side, honoring the Theorem 1 exclusions.
+// Caller holds rt.mu.
+func (rt *Runtime) selectTradeLocked(u, v int, path []int) (give, take []int) {
+	onPath := make(map[int]bool, len(path))
+	for _, x := range path {
+		onPath[x] = true
+	}
+	eligibleFrom := func(from, to int) []int {
+		var out []int
+		for _, x := range rt.o.Neighbors(from) {
+			if x == to || x == from || onPath[x] || !rt.o.Alive(x) {
+				continue
+			}
+			if rt.o.Logical.HasEdge(to, x) {
+				continue
+			}
+			out = append(out, x)
+		}
+		return out
+	}
+	candU := eligibleFrom(u, v)
+	candV := eligibleFrom(v, u)
+	m := rt.m
+	if len(candU) < m {
+		m = len(candU)
+	}
+	if len(candV) < m {
+		m = len(candV)
+	}
+	if m == 0 {
+		return nil, nil
+	}
+	pick := func(cands []int) []int {
+		rt.r.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+		out := cands[:m]
+		sort.Ints(out)
+		return out
+	}
+	return pick(candU), pick(candV)
+}
+
+// handleWalk forwards one hop of a probing walk (or closes it). Runs on its
+// own goroutine, never on the pump.
+func (rt *Runtime) handleWalk(a *agent, m transport.Message) {
+	origin := int(int32(m.Key))
+	reply := func(ok bool, path []int) {
+		ttl := uint8(0)
+		if ok {
+			ttl = 1
+		}
+		_ = a.node.Send(origin, transport.Message{
+			Type: transport.TWalkReply,
+			TTL:  ttl,
+			Seq:  m.Seq,
+			Key:  m.Key,
+			Path: path,
+		})
+	}
+	if len(m.Path) < 2 || len(m.Path) > transport.MaxPath-1 {
+		reply(false, m.Path)
+		return
+	}
+
+	rt.mu.Lock()
+	my := rt.o.SlotOfHost(a.host)
+	if my < 0 || !rt.o.Alive(my) || m.Path[len(m.Path)-1] != my {
+		// The world moved under the walk (we swapped or died mid-flight):
+		// this hop is no longer who the sender addressed. Dead-end it.
+		rt.mu.Unlock()
+		reply(false, m.Path)
+		return
+	}
+	if m.TTL == 0 {
+		rt.mu.Unlock()
+		reply(true, m.Path)
+		return
+	}
+	onPath := make(map[int]bool, len(m.Path))
+	for _, s := range m.Path {
+		onPath[s] = true
+	}
+	var candidates []int
+	for _, nb := range rt.o.Neighbors(my) {
+		if !onPath[nb] && rt.o.Alive(nb) {
+			candidates = append(candidates, nb)
+		}
+	}
+	if len(candidates) == 0 {
+		rt.mu.Unlock()
+		reply(false, m.Path)
+		return
+	}
+	next := candidates[rt.r.Intn(len(candidates))]
+	nextHost := rt.o.HostOf(next)
+	rt.mu.Unlock()
+
+	_ = a.node.Send(nextHost, transport.Message{
+		Type: transport.TWalk,
+		TTL:  m.TTL - 1,
+		Seq:  m.Seq,
+		Key:  m.Key,
+		Path: append(append([]int(nil), m.Path...), next),
+	})
+}
+
+// handleMeasure answers a TMeasure relay: ping the requested host, report
+// the RTT. Runs on its own goroutine and takes no runtime lock — the whole
+// deadlock-freedom argument rests on that.
+func (rt *Runtime) handleMeasure(a *agent, m transport.Message) {
+	fail := func() {
+		_ = a.node.Send(m.Src, transport.Message{Type: transport.TMeasureReply, TTL: 0, Seq: m.Seq})
+	}
+	if len(m.Body) != 8 {
+		fail()
+		return
+	}
+	target := int(int64(binary.BigEndian.Uint64(m.Body)))
+	var rtt float64
+	if target != a.host {
+		var err error
+		rtt, err = a.node.Ping(target, rt.cfg.PingTimeout, rt.cfg.Retries)
+		if err != nil {
+			fail()
+			return
+		}
+	}
+	body := make([]byte, 8)
+	binary.BigEndian.PutUint64(body, math.Float64bits(rtt))
+	_ = a.node.Send(m.Src, transport.Message{Type: transport.TMeasureReply, TTL: 1, Seq: m.Seq, Body: body})
+}

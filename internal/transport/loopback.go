@@ -1,0 +1,222 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/faults"
+)
+
+// LoopbackConfig describes an in-process network.
+type LoopbackConfig struct {
+	// DelayMS gives the virtual one-way delay charged on each delivery from
+	// host a to host b (nil = zero delay). A measured ping RTT is the sum of
+	// both legs, so realizing a simulated latency d(a,b) means returning
+	// d(a,b)/2 here.
+	DelayMS func(a, b int) float64
+	// Faults gates every message through internal/faults' stateless
+	// per-message verdicts: loss and duplication are a pure hash of
+	// (seed, link, per-link sequence number), so a seeded run reproduces the
+	// identical fault schedule on every repetition. Nil means perfect links.
+	Faults *faults.Injector
+	// Queue is the per-endpoint receive buffer (default 1024). A full queue
+	// drops the message — datagram semantics, counted in Stats.Overflows.
+	Queue int
+}
+
+// Drop records one message the fault gate removed, in delivery-attempt
+// order. The slice of all drops is the run's fault schedule; comparing it
+// across seeded runs is how the live determinism tests pin reproducibility.
+type Drop struct {
+	// Src and Dst are the message's endpoints.
+	Src, Dst int
+	// Seq is the per-link delivery attempt index the verdict hashed.
+	Seq uint64
+	// Reason classifies the drop.
+	Reason faults.Reason
+}
+
+// LoopbackStats tallies delivery outcomes.
+type LoopbackStats struct {
+	// Sent counts Send calls that passed the fault gate's loss check.
+	Sent uint64
+	// Delivered counts messages enqueued on a receiver (duplicates count).
+	Delivered uint64
+	// Dropped counts fault-gate losses (the length of the drop log).
+	Dropped uint64
+	// Dups counts fault-injected duplicate deliveries.
+	Dups uint64
+	// NoEndpoint counts messages addressed to hosts with no open endpoint —
+	// datagrams to dead machines vanish, as on a real network.
+	NoEndpoint uint64
+	// Overflows counts messages dropped on a full receive queue.
+	Overflows uint64
+}
+
+// Loopback is the in-process Network: deterministic, instantaneous, with
+// virtual delays and seeded faults. It is safe for concurrent use; fault
+// verdicts stay reproducible because they hash per-link sequence numbers,
+// which each sender's traffic orders deterministically.
+type Loopback struct {
+	cfg   LoopbackConfig
+	start time.Time
+
+	mu      sync.Mutex
+	eps     map[int]*loopEndpoint
+	linkSeq map[[2]int]uint64
+	drops   []Drop
+	stats   LoopbackStats
+}
+
+// NewLoopback builds an empty in-process network.
+func NewLoopback(cfg LoopbackConfig) *Loopback {
+	if cfg.Queue <= 0 {
+		cfg.Queue = 1024
+	}
+	return &Loopback{
+		cfg:     cfg,
+		start:   time.Now(),
+		eps:     make(map[int]*loopEndpoint),
+		linkSeq: make(map[[2]int]uint64),
+	}
+}
+
+// Open attaches host. Reopening a host after its endpoint closed models a
+// rejoin; opening it twice concurrently is an error.
+func (l *Loopback) Open(host int) (Endpoint, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, dup := l.eps[host]; dup {
+		return nil, fmt.Errorf("transport: loopback host %d already open", host)
+	}
+	ep := &loopEndpoint{net: l, host: host, recv: make(chan Inbound, l.cfg.Queue)}
+	l.eps[host] = ep
+	return ep, nil
+}
+
+// Drops returns a copy of the fault schedule so far.
+func (l *Loopback) Drops() []Drop {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Drop(nil), l.drops...)
+}
+
+// Stats returns the delivery tallies so far.
+func (l *Loopback) Stats() LoopbackStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// nowMS positions time-windowed faults (partitions, link outages) on the
+// wall clock since the network's creation. Seq-hashed faults (loss, dup,
+// jitter) do not consult it, so determinism holds wherever it matters.
+func (l *Loopback) nowMS() float64 {
+	return float64(time.Since(l.start)) / float64(time.Millisecond)
+}
+
+// send runs one message through the fault gate and delivers it. Called with
+// from's identity already stamped.
+func (l *Loopback) send(from *loopEndpoint, to int, m Message) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	link := [2]int{from.host, to}
+	seq := l.linkSeq[link]
+	l.linkSeq[link] = seq + 1
+
+	verdict := l.cfg.Faults.DeliverStateless(from.host, to, seq, l.nowMS())
+	if verdict.Lost {
+		l.drops = append(l.drops, Drop{Src: from.host, Dst: to, Seq: seq, Reason: verdict.Reason})
+		l.stats.Dropped++
+		return
+	}
+	l.stats.Sent++
+
+	dst, ok := l.eps[to]
+	if !ok {
+		l.stats.NoEndpoint++
+		return
+	}
+	delay := verdict.DelayMS
+	if l.cfg.DelayMS != nil {
+		delay += l.cfg.DelayMS(from.host, to)
+	}
+	in := Inbound{Msg: m, DelayMS: delay, Virtual: true}
+	copies := 1
+	if verdict.Dup {
+		copies = 2
+		l.stats.Dups++
+	}
+	for i := 0; i < copies; i++ {
+		select {
+		case dst.recv <- in:
+			l.stats.Delivered++
+		default:
+			l.stats.Overflows++
+		}
+	}
+}
+
+// close detaches ep; subsequent sends to its host vanish.
+func (l *Loopback) close(ep *loopEndpoint) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.eps[ep.host] == ep {
+		delete(l.eps, ep.host)
+		close(ep.recv)
+	}
+}
+
+type loopEndpoint struct {
+	net  *Loopback
+	host int
+	recv chan Inbound
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Host returns the host ID this endpoint answers for.
+func (ep *loopEndpoint) Host() int { return ep.host }
+
+// Send transmits m to host to with datagram semantics.
+func (ep *loopEndpoint) Send(to int, m Message) error {
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return fmt.Errorf("transport: send on closed loopback endpoint %d", ep.host)
+	}
+	ep.mu.Unlock()
+	m.Src, m.Dst = ep.host, to
+	// The loopback carries Messages natively, but every frame must still be
+	// wire-legal: encode (validating), and hand the receiver the decoded
+	// copy so aliasing bugs (shared Path/Body backing arrays) cannot leak
+	// between sender and receiver.
+	frame, err := Encode(m)
+	if err != nil {
+		return err
+	}
+	dm, err := Decode(frame)
+	if err != nil {
+		return fmt.Errorf("transport: loopback round-trip: %v", err)
+	}
+	ep.net.send(ep, to, dm)
+	return nil
+}
+
+// Recv returns the delivery channel.
+func (ep *loopEndpoint) Recv() <-chan Inbound { return ep.recv }
+
+// Close detaches the endpoint; idempotent.
+func (ep *loopEndpoint) Close() error {
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return nil
+	}
+	ep.closed = true
+	ep.mu.Unlock()
+	ep.net.close(ep)
+	return nil
+}

@@ -1,0 +1,288 @@
+package transport
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+)
+
+func testLat(a, b int) float64 {
+	if a == b {
+		return 0
+	}
+	return float64(3*(a+b)%17 + 1)
+}
+
+func halfLat(a, b int) float64 { return testLat(a, b) / 2 }
+
+func TestLoopbackDeliveryAndVirtualDelay(t *testing.T) {
+	lb := NewLoopback(LoopbackConfig{DelayMS: halfLat})
+	a, err := lb.Open(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := lb.Open(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	defer b.Close()
+
+	if err := a.Send(2, Message{Type: TData, Body: []byte("hi")}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case in := <-b.Recv():
+		if string(in.Msg.Body) != "hi" || in.Msg.Src != 1 || in.Msg.Dst != 2 {
+			t.Fatalf("bad delivery %#v", in.Msg)
+		}
+		if !in.Virtual || in.DelayMS != halfLat(1, 2) {
+			t.Fatalf("virtual delay = %v/%v, want %v/true", in.DelayMS, in.Virtual, halfLat(1, 2))
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no delivery")
+	}
+
+	// Datagram semantics: unknown destination vanishes without error.
+	if err := a.Send(99, Message{Type: TData}); err != nil {
+		t.Fatal(err)
+	}
+	if got := lb.Stats().NoEndpoint; got != 1 {
+		t.Fatalf("NoEndpoint = %d, want 1", got)
+	}
+
+	// Duplicate Open is an error; reopen after Close is a rejoin.
+	if _, err := lb.Open(1); err == nil {
+		t.Fatal("duplicate Open(1) accepted")
+	}
+	b.Close()
+	if _, err := lb.Open(2); err != nil {
+		t.Fatalf("reopen after close: %v", err)
+	}
+}
+
+func TestLoopbackSendIsolation(t *testing.T) {
+	// A receiver must not observe later mutations of the sender's slices.
+	lb := NewLoopback(LoopbackConfig{})
+	a, _ := lb.Open(1)
+	b, _ := lb.Open(2)
+	defer a.Close()
+	defer b.Close()
+
+	path := []int{1, 2, 3}
+	body := []byte("abc")
+	if err := a.Send(2, Message{Type: TWalk, Path: path, Body: body}); err != nil {
+		t.Fatal(err)
+	}
+	path[0], body[0] = 9, 'z'
+	in := <-b.Recv()
+	if in.Msg.Path[0] != 1 || in.Msg.Body[0] != 'a' {
+		t.Fatalf("delivery aliased sender memory: %#v", in.Msg)
+	}
+}
+
+func TestLoopbackFaultScheduleDeterministic(t *testing.T) {
+	// The acceptance criterion of the live fault plane: a seeded run with
+	// loss produces the identical fault schedule every time, regardless of
+	// wall-clock timing.
+	run := func() ([]Drop, LoopbackStats) {
+		inj, err := faults.NewInjector(faults.Config{Seed: 0xF00D, LossProb: 0.25, DupProb: 0.10, JitterMS: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb := NewLoopback(LoopbackConfig{DelayMS: halfLat, Faults: inj})
+		eps := make([]Endpoint, 4)
+		for i := range eps {
+			ep, err := lb.Open(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eps[i] = ep
+		}
+		// A fixed traffic pattern: every ordered pair exchanges 50 messages.
+		for k := 0; k < 50; k++ {
+			for _, src := range eps {
+				for dst := range eps {
+					if dst == src.Host() {
+						continue
+					}
+					if err := src.Send(dst, Message{Type: TData, Key: uint32(k)}); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		for _, ep := range eps {
+			ep.Close()
+		}
+		return lb.Drops(), lb.Stats()
+	}
+
+	d1, s1 := run()
+	d2, s2 := run()
+	if len(d1) == 0 {
+		t.Fatal("loss schedule empty; fault gate not engaged")
+	}
+	if len(d1) != len(d2) {
+		t.Fatalf("fault schedules differ in length: %d vs %d", len(d1), len(d2))
+	}
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatalf("fault schedules diverge at %d: %+v vs %+v", i, d1[i], d2[i])
+		}
+	}
+	if s1 != s2 {
+		t.Fatalf("stats diverge: %+v vs %+v", s1, s2)
+	}
+}
+
+func TestNodePingVirtualRTTExact(t *testing.T) {
+	// Realizing sim latency d as d/2 per leg must sum back to exactly d, so
+	// live conformance arithmetic matches the sim float-for-float.
+	lb := NewLoopback(LoopbackConfig{DelayMS: halfLat})
+	epA, _ := lb.Open(3)
+	epB, _ := lb.Open(8)
+	a, b := NewNode(epA), NewNode(epB)
+	defer a.Close()
+	defer b.Close()
+
+	for i := 0; i < 10; i++ {
+		rtt, err := a.Ping(8, time.Second, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rtt != testLat(3, 8) {
+			t.Fatalf("virtual RTT = %v, want exactly %v", rtt, testLat(3, 8))
+		}
+	}
+	if s := a.Stats(); s.PingsSent != 10 {
+		t.Fatalf("PingsSent = %d, want 10", s.PingsSent)
+	}
+}
+
+func TestNodeCallRetransmitsThroughLoss(t *testing.T) {
+	// Heavy loss + enough retries: calls still complete, and the retry
+	// counters show the machinery engaged.
+	inj, err := faults.NewInjector(faults.Config{Seed: 7, LossProb: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := NewLoopback(LoopbackConfig{Faults: inj})
+	epA, _ := lb.Open(1)
+	epB, _ := lb.Open(2)
+	a, b := NewNode(epA), NewNode(epB)
+	defer a.Close()
+	defer b.Close()
+
+	for i := 0; i < 30; i++ {
+		if _, err := a.Ping(2, 8*time.Millisecond, 10); err != nil {
+			t.Fatalf("ping %d through loss: %v", i, err)
+		}
+	}
+	if s := a.Stats(); s.Retries == 0 {
+		t.Fatal("no retransmissions under 25% loss — retry machinery inert")
+	}
+	_ = b
+}
+
+func TestNodeCallTimesOutWhenPeerGone(t *testing.T) {
+	lb := NewLoopback(LoopbackConfig{})
+	epA, _ := lb.Open(1)
+	a := NewNode(epA)
+	defer a.Close()
+
+	start := time.Now()
+	_, err := a.Call(42, Message{Type: TMeasure}, 5*time.Millisecond, 2)
+	if err == nil {
+		t.Fatal("call to absent host succeeded")
+	}
+	// Deadlines double: 5+10+20 = 35ms minimum elapsed.
+	if el := time.Since(start); el < 35*time.Millisecond {
+		t.Fatalf("gave up after %v; expected ≥35ms of doubling deadlines", el)
+	}
+	if s := a.Stats(); s.Timeouts != 3 || s.Retries != 2 {
+		t.Fatalf("timeouts/retries = %d/%d, want 3/2", s.Timeouts, s.Retries)
+	}
+}
+
+func TestNodeHandlerReceivesWalks(t *testing.T) {
+	lb := NewLoopback(LoopbackConfig{})
+	epA, _ := lb.Open(1)
+	epB, _ := lb.Open(2)
+	a, b := NewNode(epA), NewNode(epB)
+	defer a.Close()
+	defer b.Close()
+
+	got := make(chan Message, 1)
+	b.Handle(func(in Inbound) { got <- in.Msg })
+	if err := a.Send(2, Message{Type: TWalk, TTL: 2, Key: 1, Path: []int{5}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-got:
+		if m.Type != TWalk || m.TTL != 2 || len(m.Path) != 1 || m.Path[0] != 5 {
+			t.Fatalf("handler saw %#v", m)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("handler never ran")
+	}
+}
+
+func TestLoopbackDupDelivery(t *testing.T) {
+	inj, err := faults.NewInjector(faults.Config{Seed: 11, DupProb: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := NewLoopback(LoopbackConfig{Faults: inj})
+	a, _ := lb.Open(1)
+	b, _ := lb.Open(2)
+	defer a.Close()
+	defer b.Close()
+
+	if err := a.Send(2, Message{Type: TData}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case <-b.Recv():
+		case <-time.After(time.Second):
+			t.Fatalf("copy %d never arrived", i)
+		}
+	}
+	if s := lb.Stats(); s.Dups != 1 || s.Delivered != 2 {
+		t.Fatalf("stats %+v, want Dups=1 Delivered=2", s)
+	}
+}
+
+func TestLoopbackJitterBounded(t *testing.T) {
+	inj, err := faults.NewInjector(faults.Config{Seed: 5, JitterMS: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := NewLoopback(LoopbackConfig{DelayMS: halfLat, Faults: inj})
+	a, _ := lb.Open(1)
+	b, _ := lb.Open(2)
+	defer a.Close()
+	defer b.Close()
+
+	base := halfLat(1, 2)
+	sawJitter := false
+	for i := 0; i < 50; i++ {
+		if err := a.Send(2, Message{Type: TData}); err != nil {
+			t.Fatal(err)
+		}
+		in := <-b.Recv()
+		j := in.DelayMS - base
+		if j < 0 || j >= 4 || math.IsNaN(j) {
+			t.Fatalf("jitter %v outside [0,4)", j)
+		}
+		if j > 0 {
+			sawJitter = true
+		}
+	}
+	if !sawJitter {
+		t.Fatal("no jitter observed over 50 messages")
+	}
+}

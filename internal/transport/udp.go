@@ -1,0 +1,200 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// UDPNetwork maps host IDs to UDP socket addresses. Each Open binds a real
+// kernel socket on the configured interface; peers are introduced with
+// AddPeer (the static bootstrap list of a two-process smoke test) and
+// learned dynamically from the Src field of inbound traffic, so a reply
+// never needs a pre-registered route.
+type UDPNetwork struct {
+	// BindIP is the interface to bind (default 127.0.0.1).
+	BindIP string
+
+	mu    sync.Mutex
+	peers map[int]*net.UDPAddr
+	eps   map[int]*UDPEndpoint
+}
+
+// NewUDPNetwork builds a network binding sockets on bindIP ("" = loopback).
+func NewUDPNetwork(bindIP string) *UDPNetwork {
+	if bindIP == "" {
+		bindIP = "127.0.0.1"
+	}
+	return &UDPNetwork{
+		BindIP: bindIP,
+		peers:  make(map[int]*net.UDPAddr),
+		eps:    make(map[int]*UDPEndpoint),
+	}
+}
+
+// AddPeer registers the socket address of a host reachable on the wire.
+func (u *UDPNetwork) AddPeer(host int, addr string) error {
+	a, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("transport: udp peer %d: %v", host, err)
+	}
+	u.mu.Lock()
+	u.peers[host] = a
+	u.mu.Unlock()
+	return nil
+}
+
+// Addr returns the bound socket address of a locally opened host.
+func (u *UDPNetwork) Addr(host int) (string, bool) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	ep, ok := u.eps[host]
+	if !ok {
+		return "", false
+	}
+	return ep.conn.LocalAddr().String(), true
+}
+
+// Open binds a fresh UDP socket (port 0: kernel-assigned) for host and
+// starts its read loop.
+func (u *UDPNetwork) Open(host int) (Endpoint, error) { return u.OpenAt(host, 0) }
+
+// OpenAt is Open on an explicit port — the well-known address a two-process
+// deployment advertises (0 keeps the kernel-assigned behavior).
+func (u *UDPNetwork) OpenAt(host, port int) (Endpoint, error) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if _, dup := u.eps[host]; dup {
+		return nil, fmt.Errorf("transport: udp host %d already open", host)
+	}
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.ParseIP(u.BindIP), Port: port})
+	if err != nil {
+		return nil, fmt.Errorf("transport: udp bind for host %d: %v", host, err)
+	}
+	ep := &UDPEndpoint{
+		net:  u,
+		host: host,
+		conn: conn,
+		recv: make(chan Inbound, 1024),
+	}
+	u.eps[host] = ep
+	u.peers[host] = conn.LocalAddr().(*net.UDPAddr)
+	ep.wg.Add(1)
+	go ep.readLoop()
+	return ep, nil
+}
+
+// lookup resolves a host to its last known socket address.
+func (u *UDPNetwork) lookup(host int) *net.UDPAddr {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.peers[host]
+}
+
+// learn records the observed source address of host's traffic, so replies
+// and future sends route without static configuration.
+func (u *UDPNetwork) learn(host int, addr *net.UDPAddr) {
+	u.mu.Lock()
+	u.peers[host] = addr
+	u.mu.Unlock()
+}
+
+// drop detaches a closed endpoint.
+func (u *UDPNetwork) drop(ep *UDPEndpoint) {
+	u.mu.Lock()
+	if u.eps[ep.host] == ep {
+		delete(u.eps, ep.host)
+	}
+	u.mu.Unlock()
+}
+
+// UDPEndpoint is one host's kernel socket: frames go out as single
+// datagrams, the read loop decodes inbound datagrams (dropping malformed
+// ones) and learns peer addresses from their Src field.
+type UDPEndpoint struct {
+	net  *UDPNetwork
+	host int
+	conn *net.UDPConn
+	recv chan Inbound
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Host returns the host ID this endpoint answers for.
+func (ep *UDPEndpoint) Host() int { return ep.host }
+
+// Send encodes m and ships it as one datagram. Unknown destinations are
+// datagram semantics: the message vanishes without error.
+func (ep *UDPEndpoint) Send(to int, m Message) error {
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return fmt.Errorf("transport: send on closed udp endpoint %d", ep.host)
+	}
+	ep.mu.Unlock()
+	m.Src, m.Dst = ep.host, to
+	frame, err := Encode(m)
+	if err != nil {
+		return err
+	}
+	addr := ep.net.lookup(to)
+	if addr == nil {
+		return nil
+	}
+	_, err = ep.conn.WriteToUDP(frame, addr)
+	if err != nil && !ep.isClosed() {
+		return fmt.Errorf("transport: udp send %d→%d: %v", ep.host, to, err)
+	}
+	return nil
+}
+
+// Recv returns the delivery channel.
+func (ep *UDPEndpoint) Recv() <-chan Inbound { return ep.recv }
+
+// Close shuts the socket and read loop; idempotent.
+func (ep *UDPEndpoint) Close() error {
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return nil
+	}
+	ep.closed = true
+	ep.mu.Unlock()
+	ep.conn.Close()
+	ep.wg.Wait()
+	ep.net.drop(ep)
+	return nil
+}
+
+func (ep *UDPEndpoint) isClosed() bool {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return ep.closed
+}
+
+func (ep *UDPEndpoint) readLoop() {
+	defer ep.wg.Done()
+	defer close(ep.recv)
+	buf := make([]byte, 64*1024)
+	for {
+		n, from, err := ep.conn.ReadFromUDP(buf)
+		if err != nil {
+			if ep.isClosed() || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		m, err := Decode(buf[:n])
+		if err != nil {
+			continue // malformed datagram: drop, as any UDP service must
+		}
+		ep.net.learn(m.Src, from)
+		select {
+		case ep.recv <- Inbound{Msg: m}:
+		default:
+		}
+	}
+}
