@@ -1,10 +1,27 @@
 // Command benchjson converts `go test -bench` output on stdin into a JSON
 // document on stdout, so CI can archive benchmark runs as machine-readable
-// artifacts (e.g. BENCH_PR2.json) and humans can diff them across commits.
+// artifacts (e.g. BENCH_PR2.json, BENCH_PR7.json) and humans can diff them
+// across commits.
 //
 // Usage:
 //
 //	go test ./internal/netsim -run '^$' -bench . -benchmem | benchjson -label after > BENCH.json
+//
+// Baseline diff mode compares the run against a committed reference and
+// fails CI loudly on hot-path regressions (the JSON document is still
+// written to stdout, so one pass both gates and produces the artifact):
+//
+//	... | benchjson -label "$SHA" -baseline BENCH_BASELINE.json > BENCH_PR7.json
+//
+// Every benchmark present in both runs is compared by allocs/op (hard gate,
+// -max-alloc-ratio, default 1.25: allocation counts are deterministic, so a
+// quarter more is a real regression, not noise) and — only when
+// -max-ns-ratio is set above zero — by ns/op (shared CI runners are noisy;
+// a generous 3-5× catches complexity-class regressions without flaking).
+// The diff table goes to stderr; exit status 3 means at least one benchmark
+// exceeded a threshold. Benchmarks found in only one of the two runs are
+// reported but never fatal, so the baseline may cover a superset of any
+// single CI shard.
 //
 // Lines that are not benchmark results (goos/pkg headers, PASS/ok) are
 // folded into the environment header; unparseable lines are ignored.
@@ -15,6 +32,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -39,6 +57,9 @@ type Report struct {
 
 func main() {
 	label := flag.String("label", "", "free-form label recorded in the output (e.g. 'after', a commit sha)")
+	baseline := flag.String("baseline", "", "compare against this committed benchjson document and exit 3 past a threshold")
+	maxAllocRatio := flag.Float64("max-alloc-ratio", 1.25, "baseline mode: fail when allocs/op exceeds baseline by this factor")
+	maxNsRatio := flag.Float64("max-ns-ratio", 0, "baseline mode: fail when ns/op exceeds baseline by this factor (0 = report only; wall time is noisy on shared runners)")
 	flag.Parse()
 
 	rep := Report{Label: *label, Env: map[string]string{}, Results: []Result{}}
@@ -73,6 +94,79 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: write: %v\n", err)
 		os.Exit(1)
 	}
+	if *baseline != "" {
+		regressed, err := diffBaseline(os.Stderr, rep, *baseline, *maxAllocRatio, *maxNsRatio)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: baseline: %v\n", err)
+			os.Exit(1)
+		}
+		if regressed {
+			os.Exit(3)
+		}
+	}
+}
+
+// diffBaseline compares cur against the report stored at path, writing one
+// diff line per benchmark to w. It returns true when any shared benchmark
+// exceeds a threshold: allocs/op > maxAllocRatio × baseline, or — when
+// maxNsRatio > 0 — ns/op > maxNsRatio × baseline.
+func diffBaseline(w io.Writer, cur Report, path string, maxAllocRatio, maxNsRatio float64) (regressed bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false, err
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return false, fmt.Errorf("%s: %w", path, err)
+	}
+	baseByName := make(map[string]Result, len(base.Results))
+	for _, r := range base.Results {
+		baseByName[r.Name] = r
+	}
+	seen := make(map[string]bool, len(cur.Results))
+	for _, r := range cur.Results {
+		seen[r.Name] = true
+		b, ok := baseByName[r.Name]
+		if !ok {
+			fmt.Fprintf(w, "benchjson: %-44s new (no baseline entry)\n", r.Name)
+			continue
+		}
+		status := "ok"
+		nsRatio := ratio(r.NsPerOp, b.NsPerOp)
+		allocRatio := ratio(float64(r.AllocsPerOp), float64(b.AllocsPerOp))
+		if (b.AllocsPerOp > 0 && allocRatio > maxAllocRatio) ||
+			(b.AllocsPerOp == 0 && r.AllocsPerOp > 0) {
+			// A zero-alloc baseline is a hard-won property; any allocation
+			// at all loses it, ratio or no ratio.
+			status = "ALLOC REGRESSION"
+			regressed = true
+		}
+		if maxNsRatio > 0 && b.NsPerOp > 0 && nsRatio > maxNsRatio {
+			if status == "ok" {
+				status = "NS REGRESSION"
+			} else {
+				status += " + NS REGRESSION"
+			}
+			regressed = true
+		}
+		fmt.Fprintf(w, "benchjson: %-44s ns/op %.0f -> %.0f (x%.2f)  allocs/op %d -> %d (x%.2f)  %s\n",
+			r.Name, b.NsPerOp, r.NsPerOp, nsRatio, b.AllocsPerOp, r.AllocsPerOp, allocRatio, status)
+	}
+	for _, b := range base.Results {
+		if !seen[b.Name] {
+			fmt.Fprintf(w, "benchjson: %-44s missing from this run (baseline-only)\n", b.Name)
+		}
+	}
+	return regressed, nil
+}
+
+// ratio returns cur/base, or 0 when the baseline is zero (the zero-alloc
+// case is gated separately: any allocation against a zero baseline fails).
+func ratio(cur, base float64) float64 {
+	if base <= 0 {
+		return 0
+	}
+	return cur / base
 }
 
 // parseBench decodes one result line of the form

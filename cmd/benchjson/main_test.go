@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBaseline(t *testing.T, rep Report) string {
+	t.Helper()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDiffBaselineThresholds(t *testing.T) {
+	base := Report{Results: []Result{
+		{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 10},
+		{Name: "BenchmarkZeroAlloc", NsPerOp: 500, AllocsPerOp: 0},
+		{Name: "BenchmarkOnlyInBaseline", NsPerOp: 42, AllocsPerOp: 1},
+	}}
+	path := writeBaseline(t, base)
+
+	cases := []struct {
+		name      string
+		cur       []Result
+		allocMax  float64
+		nsMax     float64
+		regressed bool
+		wants     []string
+	}{
+		{
+			name:      "within-threshold",
+			cur:       []Result{{Name: "BenchmarkA", NsPerOp: 1100, AllocsPerOp: 12}},
+			allocMax:  1.25,
+			regressed: false,
+			wants:     []string{"ok", "missing from this run"},
+		},
+		{
+			name:      "alloc-regression",
+			cur:       []Result{{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 20}},
+			allocMax:  1.25,
+			regressed: true,
+			wants:     []string{"ALLOC REGRESSION"},
+		},
+		{
+			name:      "ns-regression-when-enabled",
+			cur:       []Result{{Name: "BenchmarkA", NsPerOp: 5000, AllocsPerOp: 10}},
+			allocMax:  1.25,
+			nsMax:     3,
+			regressed: true,
+			wants:     []string{"NS REGRESSION"},
+		},
+		{
+			name:      "ns-ignored-by-default",
+			cur:       []Result{{Name: "BenchmarkA", NsPerOp: 5000, AllocsPerOp: 10}},
+			allocMax:  1.25,
+			regressed: false,
+		},
+		{
+			name:      "zero-alloc-baseline-gains-alloc",
+			cur:       []Result{{Name: "BenchmarkZeroAlloc", NsPerOp: 500, AllocsPerOp: 1}},
+			allocMax:  1.25,
+			regressed: true,
+			wants:     []string{"ALLOC REGRESSION"},
+		},
+		{
+			name:      "new-benchmark-not-fatal",
+			cur:       []Result{{Name: "BenchmarkBrandNew", NsPerOp: 1, AllocsPerOp: 999}},
+			allocMax:  1.25,
+			regressed: false,
+			wants:     []string{"new (no baseline entry)"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			got, err := diffBaseline(&buf, Report{Results: tc.cur}, path, tc.allocMax, tc.nsMax)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.regressed {
+				t.Fatalf("regressed = %v, want %v\n%s", got, tc.regressed, buf.String())
+			}
+			for _, w := range tc.wants {
+				if !strings.Contains(buf.String(), w) {
+					t.Fatalf("diff output missing %q:\n%s", w, buf.String())
+				}
+			}
+		})
+	}
+}
+
+func TestDiffBaselineMissingFile(t *testing.T) {
+	if _, err := diffBaseline(&bytes.Buffer{}, Report{}, filepath.Join(t.TempDir(), "nope.json"), 1.25, 0); err == nil {
+		t.Fatal("missing baseline file accepted")
+	}
+}
+
+func TestParseBench(t *testing.T) {
+	r, ok := parseBench("BenchmarkALTrackerUpdateExchange4096-8 \t 5\t  10962367 ns/op\t  207931 B/op\t      64 allocs/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if r.Name != "BenchmarkALTrackerUpdateExchange4096" || r.Iterations != 5 ||
+		r.NsPerOp != 10962367 || r.BytesPerOp != 207931 || r.AllocsPerOp != 64 {
+		t.Fatalf("parsed %+v", r)
+	}
+	if _, ok := parseBench("PASS"); ok {
+		t.Fatal("non-benchmark line parsed")
+	}
+}

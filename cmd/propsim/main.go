@@ -16,6 +16,8 @@
 // Observability (DESIGN.md §8, EXPERIMENTS.md "Metrics streams"):
 //
 //	propsim -exp fig5a -metrics -metrics-out fig5a.jsonl [-metrics-csv fig5a.csv]
+//	propsim -exp fig5a -al-mode incremental -metrics-out fig5a.jsonl    # eq. (3) AL series
+//	propsim -exp churn -al-mode sampled -metrics-out churn.jsonl        # AL + skip counter
 //	propsim -exp fig5a -metrics-wall -metrics-out fig5a.jsonl   # + wall-clock spans
 //	propsim -exp all -scale 0.5 -pprof localhost:6060           # live pprof/expvar
 package main
@@ -51,6 +53,8 @@ func main() {
 		plot       = flag.Bool("plot", false, "render an ASCII chart after the table")
 		oracleRows = flag.Int("oracle-rows", 0, "cap cached latency-oracle rows per trial (0 = unbounded); use >= the overlay size or the cache thrashes")
 		oracleF32  = flag.Bool("oracle-f32", false, "store oracle rows as float32 (half the cache memory, sub-ppm rounding)")
+
+		alMode = flag.String("al-mode", "", "record the eq. (3) average-latency series in fig5*/churn metrics streams: exact | incremental | sampled (empty = off, byte-identical output)")
 
 		faultLoss  = flag.Float64("loss", 0, "figRa: pin the message-loss probability, collapsing the sweep to {0, value} (0 = default sweep)")
 		faultCrash = flag.Float64("crash", 0, "figRb: pin the crash-stop fraction, collapsing the sweep to {0, value} (0 = default sweep)")
@@ -105,6 +109,7 @@ func main() {
 		Seed: *seed, Trials: *trials, Scale: *scale,
 		OracleRowBudget: *oracleRows, OracleFloat32: *oracleF32,
 		FaultLoss: *faultLoss, FaultCrash: *faultCrash, FaultPartitionMS: *faultPart,
+		ALMode: *alMode,
 	}
 	firstCSV := true
 	for _, id := range ids {
@@ -126,6 +131,11 @@ func main() {
 			}
 			if *faultPart > 0 {
 				man.Flags["partition"] = strconv.FormatFloat(*faultPart, 'g', -1, 64)
+			}
+			// The AL mode enters the manifest only when set, for the same
+			// byte-compatibility reason as the fault overrides.
+			if *alMode != "" {
+				man.Flags["al-mode"] = *alMode
 			}
 			reg = obs.New(man)
 			if *metricsWall {

@@ -1,0 +1,118 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/overlay"
+	"repro/internal/rng"
+)
+
+// AL-mode names accepted by Options.ALMode / propsim -al-mode.
+const (
+	// ALModeOff (the default) skips the AL series entirely, keeping every
+	// experiment's output byte-identical to the pre-AL-series builds.
+	ALModeOff = ""
+	// ALModeExact refloods the whole overlay at every sample point — the
+	// eq. (3) reference value, partition-tolerant (a metrics.ALTracker with
+	// a negative drift budget, so every update is a forced full reflood).
+	ALModeExact = "exact"
+	// ALModeIncremental maintains the value between sample points with a
+	// drift-bounded metrics.ALTracker: only flood rows touched by the batch
+	// of topology mutations are repaired.
+	ALModeIncremental = "incremental"
+	// ALModeSampled estimates from random ordered pairs at each sample
+	// point; unreachable pairs are redrawn or skipped (and counted), never
+	// fatal.
+	ALModeSampled = "sampled"
+)
+
+// alProbe evaluates the paper's eq. (3) average latency at experiment
+// sample points under the configured Options.ALMode. A nil probe (mode off)
+// is a valid no-op receiver for every method.
+type alProbe struct {
+	mode    string
+	tracker *metrics.ALTracker // exact + incremental modes
+	o       *overlay.Overlay
+	sample  int       // sampled mode: pairs per estimate
+	r       *rng.Rand // sampled mode: dedicated deterministic stream
+}
+
+// newALProbe builds the probe for opt.ALMode over o, or nil when the mode
+// is off. seed derives the sampled mode's private generator, so attaching
+// the probe never perturbs the experiment's own RNG streams. sample is the
+// pair count of one sampled estimate.
+func newALProbe(opt Options, o *overlay.Overlay, seed uint64, sample int) (*alProbe, error) {
+	switch opt.ALMode {
+	case ALModeOff:
+		return nil, nil
+	case ALModeExact:
+		tr, err := metrics.NewALTracker(o, nil, metrics.ALTrackerOptions{DriftBudget: -1})
+		if err != nil {
+			return nil, err
+		}
+		return &alProbe{mode: opt.ALMode, tracker: tr, o: o}, nil
+	case ALModeIncremental:
+		tr, err := metrics.NewALTracker(o, nil, metrics.ALTrackerOptions{})
+		if err != nil {
+			return nil, err
+		}
+		return &alProbe{mode: opt.ALMode, tracker: tr, o: o}, nil
+	case ALModeSampled:
+		return &alProbe{
+			mode:   opt.ALMode,
+			o:      o,
+			sample: sample,
+			r:      rng.New(seed ^ 0xa17ec0de5eed),
+		}, nil
+	default:
+		return nil, fmt.Errorf("experiment: unknown AL mode %q (want %q, %q or %q)",
+			opt.ALMode, ALModeExact, ALModeIncremental, ALModeSampled)
+	}
+}
+
+// measure evaluates AL at simulated time t and records it (plus the
+// sampled-mode skip counter) on the trial's metrics stream.
+func (p *alProbe) measure(tr *obs.Trial, prefix string, t float64) (float64, error) {
+	if p == nil {
+		return 0, nil
+	}
+	var al float64
+	switch p.mode {
+	case ALModeSampled:
+		v, skipped, err := metrics.AverageLatencySampled(p.o, nil, p.sample, p.r)
+		if err != nil {
+			return 0, fmt.Errorf("experiment: sampled AL at t=%v: %w", t, err)
+		}
+		if skipped > 0 && tr != nil {
+			tr.Counter(prefix + "al.sample_skips").Add(uint64(skipped))
+		}
+		al = v
+	default: // exact and incremental share the tracker path
+		p.tracker.Update()
+		al = p.tracker.Value()
+	}
+	if tr != nil {
+		tr.Series(prefix+"al_ms").Sample(t, al)
+	}
+	return al, nil
+}
+
+// update absorbs pending topology mutations immediately (incremental mode
+// only — keeping each repair batch small). Experiments attach this to
+// churn.Runner.AfterEvent; in the other modes nothing is maintained
+// between sample points, so it is a no-op.
+func (p *alProbe) update() {
+	if p != nil && p.mode == ALModeIncremental {
+		p.tracker.Update()
+	}
+}
+
+// close detaches the tracker's overlay hook and mutation journal. Safe on
+// nil and sampled-mode probes.
+func (p *alProbe) close() {
+	if p != nil && p.tracker != nil {
+		p.tracker.Detach()
+	}
+}

@@ -63,6 +63,14 @@ type Options struct {
 	FaultLoss        float64
 	FaultCrash       float64
 	FaultPartitionMS float64
+	// ALMode adds the paper's eq. (3) average-latency series ("al_ms") to
+	// the metrics stream of the experiments that maintain a live overlay
+	// (fig5*, churn): ALModeExact refloods at every sample point,
+	// ALModeIncremental delta-maintains the value with a metrics.ALTracker,
+	// ALModeSampled estimates from random pairs (skipping unreachable ones
+	// and counting them in "al.sample_skips"). Empty — the default — keeps
+	// the AL machinery detached and every output byte-identical to before.
+	ALMode string
 	// Metrics, when non-nil, switches the observability layer on: the
 	// instrumented experiments (fig5*, fig6*, fig7, churn) record per-trial
 	// phase spans, sim-clock time series of the protocol/overlay/back-off

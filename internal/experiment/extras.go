@@ -97,17 +97,21 @@ func runChurn(opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	notes := []string{
+		fmt.Sprintf("churn window: minutes %d-%d (Poisson joins and leaves, ~25%% of peers)", churnStartMS/60000, churnStopMS/60000),
+		"expected shape: probe rate spikes inside the window, decays after; stretch bumps then recovers",
+		fmt.Sprintf("scale=%.2f seed=%d trials=%d", opt.Scale, opt.Seed, opt.Trials),
+	}
+	if opt.ALMode != ALModeOff {
+		notes = append(notes, fmt.Sprintf("al-mode=%s: eq. (3) AL series recorded as churn/al_ms in the metrics stream", opt.ALMode))
+	}
 	return &Result{
 		ID:     "churn",
 		Title:  "PROP-G under churn: probe frequency and stretch over time",
 		XLabel: "time (min)",
 		YLabel: "probes per node per minute | stretch",
 		Series: mergeTrials(perTrial),
-		Notes: []string{
-			fmt.Sprintf("churn window: minutes %d-%d (Poisson joins and leaves, ~25%% of peers)", churnStartMS/60000, churnStopMS/60000),
-			"expected shape: probe rate spikes inside the window, decays after; stretch bumps then recovers",
-			fmt.Sprintf("scale=%.2f seed=%d trials=%d", opt.Scale, opt.Seed, opt.Trials),
-		},
+		Notes:  notes,
 	}, nil
 }
 
@@ -179,6 +183,14 @@ func oneChurnTrial(opt Options, tr *obs.Trial, seed uint64) ([]stats.Series, err
 		pool = append(pool, host)
 		return nil
 	}
+	al, err := newALProbe(opt, o, seed, scaled(paperLookups, opt.Scale, 100))
+	if err != nil {
+		return nil, err
+	}
+	defer al.close()
+	// Incremental mode absorbs each churn event as it fires, so no repair
+	// batch ever spans more than one join/leave (a no-op in other modes).
+	runner.AfterEvent = func(*event.Engine) { al.update() }
 	hookExchangeTrace(tr, prefix, p)
 	runner.Start(eng)
 
@@ -198,6 +210,9 @@ func oneChurnTrial(opt Options, tr *obs.Trial, seed uint64) ([]stats.Series, err
 		}
 		probeSeries.Add(t/60000, float64(dp)/float64(nodes))
 		stretchSeries.Add(t/60000, o.Stretch(phys))
+		if _, err := al.measure(tr, prefix, t); err != nil {
+			return nil, err
+		}
 		if tr != nil {
 			tr.Series(prefix+"probe_rate").Sample(t, float64(dp)/float64(nodes))
 			tr.Series(prefix+"stretch").Sample(t, o.Stretch(phys))

@@ -63,7 +63,11 @@ func runGnutellaSeries(opt Options, variants []gnutellaVariant) ([]stats.Series,
 	if err != nil {
 		return nil, nil, err
 	}
-	return mergeTrials(perTrial), alog.notes(opt.Trials), nil
+	notes := alog.notes(opt.Trials)
+	if opt.ALMode != ALModeOff {
+		notes = append(notes, fmt.Sprintf("al-mode=%s: eq. (3) AL series recorded as <variant>/al_ms in the metrics stream", opt.ALMode))
+	}
+	return mergeTrials(perTrial), notes, nil
 }
 
 // oneGnutellaRun simulates one variant and samples the average lookup
@@ -90,6 +94,11 @@ func oneGnutellaRun(opt Options, v gnutellaVariant, tr *obs.Trial, envSeed, runS
 	if err != nil {
 		return stats.Series{}, "", err
 	}
+	al, err := newALProbe(opt, o, runSeed, nLookups)
+	if err != nil {
+		return stats.Series{}, "", err
+	}
+	defer al.close()
 	spBuild.End(0)
 
 	cfg := core.DefaultConfig(core.PROPG)
@@ -116,6 +125,9 @@ func oneGnutellaRun(opt Options, v gnutellaVariant, tr *obs.Trial, envSeed, runS
 		eng.RunUntil(event.Time(t))
 		mean, _ := metrics.MeanLookupLatency(lookups, metrics.FloodEval(o, nil))
 		series.Add(t/60000, mean)
+		if _, err := al.measure(tr, prefix, t); err != nil {
+			return stats.Series{}, "", err
+		}
 		if tr != nil {
 			tr.Series(prefix+"lookup_latency_ms").Sample(t, mean)
 			sampleProtocol(tr, prefix, t, p, o)

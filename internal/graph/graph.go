@@ -45,6 +45,18 @@ type Graph struct {
 	// it. Atomic so concurrent readers of a static graph never race the
 	// lazy build.
 	frozen frozenCache
+
+	// version counts effective mutations; the delta layer (delta.go) keys
+	// its views and journals off it. A mutation that changes nothing (e.g.
+	// re-adding an edge with its current weight) does not bump it.
+	version uint64
+
+	// journal is the bounded mutation log enabled by TrackMutations. It
+	// holds the mutations for versions journalAt+1..version; overflow
+	// clears it and advances journalAt, forcing consumers to resync.
+	journal    []Mutation
+	journalCap int
+	journalAt  uint64
 }
 
 // New returns a graph with n isolated vertices.
@@ -92,6 +104,7 @@ func (g *Graph) NumEdges() int { return g.m }
 // AddVertex appends a new isolated vertex and returns its ID.
 func (g *Graph) AddVertex() int {
 	g.adj = append(g.adj, nil)
+	g.noteMutation(Mutation{Kind: MutAddVertex, U: len(g.adj) - 1, V: -1})
 	g.invalidateFrozen()
 	return len(g.adj) - 1
 }
@@ -112,11 +125,19 @@ func (g *Graph) AddEdge(u, v int, w float64) error {
 	if w < 0 {
 		return fmt.Errorf("graph: negative weight %v on edge {%d,%d}", w, u, v)
 	}
-	var existed bool
-	g.adj[u], existed = setHalf(g.adj[u], v, w)
+	oldW, existed := g.Weight(u, v)
+	if existed && oldW == w {
+		// No-op overwrite: the graph is unchanged, so neither the version
+		// nor the cached CSR view needs to move.
+		return nil
+	}
+	g.adj[u], _ = setHalf(g.adj[u], v, w)
 	g.adj[v], _ = setHalf(g.adj[v], u, w)
-	if !existed {
+	if existed {
+		g.noteMutation(Mutation{Kind: MutSetWeight, U: u, V: v, W: w, OldW: oldW})
+	} else {
 		g.m++
+		g.noteMutation(Mutation{Kind: MutAddEdge, U: u, V: v, W: w})
 	}
 	g.invalidateFrozen()
 	return nil
@@ -136,12 +157,14 @@ func (g *Graph) RemoveEdge(u, v int) bool {
 	if u < 0 || v < 0 || u >= len(g.adj) || v >= len(g.adj) {
 		return false
 	}
-	var ok bool
-	if g.adj[u], ok = dropHalf(g.adj[u], v); !ok {
+	oldW, existed := g.Weight(u, v)
+	if !existed {
 		return false
 	}
+	g.adj[u], _ = dropHalf(g.adj[u], v)
 	g.adj[v], _ = dropHalf(g.adj[v], u)
 	g.m--
+	g.noteMutation(Mutation{Kind: MutRemoveEdge, U: u, V: v, OldW: oldW})
 	g.invalidateFrozen()
 	return true
 }

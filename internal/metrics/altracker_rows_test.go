@@ -1,0 +1,53 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestALTrackerRowsBitExact drives a long random op sequence and, after
+// every update, asserts each resident arrival row is bit-identical to a
+// fresh flood and that the tracked per-row sums match the rows — the
+// strongest form of the incremental-vs-exact property (value-level
+// agreement follows from it).
+func TestALTrackerRowsBitExact(t *testing.T) {
+	r := rng.New(71)
+	n := 32
+	o := alRingOverlay(t, r, n, n)
+	tr, err := NewALTracker(o, nil, ALTrackerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Detach()
+	nextHost := 1_000_000
+	for step := 0; step < 150; step++ {
+		alRandomOp(t, o, r, &nextHost, true)
+		st := tr.Update()
+		want := make([]float64, o.NumSlots())
+		for src := 0; src < o.NumSlots(); src++ {
+			row := tr.rows[src]
+			if row == nil {
+				if o.Alive(src) {
+					t.Fatalf("step %d: live slot %d has no row (stats %+v)", step, src, st)
+				}
+				continue
+			}
+			if !o.Alive(src) {
+				t.Fatalf("step %d: dead slot %d still has a row", step, src)
+			}
+			o.FloodLatenciesInto(src, nil, want)
+			for i := range want {
+				if row[i] != want[i] {
+					t.Fatalf("step %d: row %d entry %d = %v, want %v (stats %+v)", step, src, i, row[i], want[i], st)
+				}
+			}
+			sum, fin := alFiniteSum(row)
+			if math.Abs(sum-tr.rowSum[src]) > 1e-9*(1+math.Abs(sum)) || fin != tr.rowFinite[src] {
+				t.Fatalf("step %d: row %d sum/finite mismatch: tracked (%v,%d) actual (%v,%d)",
+					step, src, tr.rowSum[src], tr.rowFinite[src], sum, fin)
+			}
+		}
+	}
+}

@@ -58,9 +58,18 @@ type OracleOptions struct {
 // pointers, so the read path is lock-free in every mode; only admission
 // and eviction in the memory-bounded mode take a lock.
 type Oracle struct {
-	fz    *graph.Frozen
+	fz    graph.CSRView
 	opt   OracleOptions
 	instr *oracleInstr // nil unless SetInstruments was called
+
+	// Dynamic-graph state (DESIGN.md §11). net is retained so Refresh can
+	// read the mutation journal and the domain map; base/baseVer anchor the
+	// delta view chain at the last full freeze or compaction; ver is the
+	// graph version the current view (and every cached row) describes.
+	net     *Network
+	base    *graph.Frozen
+	baseVer uint64
+	ver     uint64
 
 	rows   []atomic.Pointer[[]float64] // full-precision mode
 	rows32 []atomic.Pointer[[]float32] // Float32 mode
@@ -89,13 +98,29 @@ func NewOracle(net *Network) *Oracle {
 	return NewOracleWith(net, OracleOptions{})
 }
 
-// NewOracleWith builds a latency oracle with explicit memory options.
+// oracleJournalCap bounds the mutation journal Refresh consumes. A churn
+// batch larger than this overflows the journal and the next Refresh falls
+// back to a full rebuild — the same cost as the pre-delta behavior.
+const oracleJournalCap = 8192
+
+// NewOracleWith builds a latency oracle with explicit memory options. It
+// enables the physical graph's mutation journal so that later topology
+// mutations can be absorbed with Refresh instead of a rebuild.
 func NewOracleWith(net *Network, opt OracleOptions) *Oracle {
 	n := net.Graph.NumVertices()
 	if opt.RowBudget < 0 {
 		opt.RowBudget = 0
 	}
-	o := &Oracle{fz: net.Graph.Frozen(), opt: opt}
+	net.Graph.TrackMutations(oracleJournalCap)
+	base := net.Graph.Frozen()
+	o := &Oracle{
+		fz:      base,
+		opt:     opt,
+		net:     net,
+		base:    base,
+		baseVer: net.Graph.Version(),
+		ver:     net.Graph.Version(),
+	}
 	if opt.Float32 {
 		o.rows32 = make([]atomic.Pointer[[]float32], n)
 	} else {
@@ -260,6 +285,12 @@ func (o *Oracle) compute(src int) (r64 []float64, r32 []float32) {
 // discarded.
 func (o *Oracle) ensure(src int) (*[]float64, *[]float32) {
 	if o.opt.RowBudget == 0 {
+		// Fast path first: Refresh replaces the once slice wholesale, so a
+		// row that survived a refresh must be served from its atomic slot
+		// rather than recomputed through the fresh Once.
+		if r64, r32 := o.load(src); r64 != nil || r32 != nil {
+			return r64, r32
+		}
 		o.once[src].Do(func() {
 			r64, r32 := o.compute(src)
 			o.store(src, r64, r32)

@@ -19,6 +19,7 @@ type floodScratch struct {
 	dist []float64
 	heap []int32
 	pos  []int32
+	mark []bool // affected-set marking for RepairFloodRow (repair.go)
 }
 
 // floodPool hands out scratch sized to at least n slots.
@@ -32,9 +33,11 @@ func (o *Overlay) floodGet() *floodScratch {
 		s.dist = make([]float64, n)
 		s.pos = make([]int32, n)
 		s.heap = make([]int32, 0, n)
+		s.mark = make([]bool, n)
 	}
 	s.dist = s.dist[:n]
 	s.pos = s.pos[:n]
+	s.mark = s.mark[:n]
 	return s
 }
 
