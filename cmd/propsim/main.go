@@ -13,6 +13,12 @@
 //	propsim -exp figRb -crash 0.10           # collapse the crash sweep to {0, 10%}
 //	propsim -exp figRc -partition 300000     # 5-minute partition window
 //
+// Scaling (DESIGN.md §12, SCALING.md):
+//
+//	propsim -exp fig5a-scale                             # full ladder to 10^6 peers
+//	propsim -exp fig5a-scale -scale-n 100000 -metrics-out scale.jsonl
+//	propsim -exp fig5a-scale -shards 4                   # same bytes, different wall time
+//
 // Observability (DESIGN.md §8, EXPERIMENTS.md "Metrics streams"):
 //
 //	propsim -exp fig5a -metrics -metrics-out fig5a.jsonl [-metrics-csv fig5a.csv]
@@ -54,7 +60,10 @@ func main() {
 		oracleRows = flag.Int("oracle-rows", 0, "cap cached latency-oracle rows per trial (0 = unbounded); use >= the overlay size or the cache thrashes")
 		oracleF32  = flag.Bool("oracle-f32", false, "store oracle rows as float32 (half the cache memory, sub-ppm rounding)")
 
-		alMode = flag.String("al-mode", "", "record the eq. (3) average-latency series in fig5*/churn metrics streams: exact | incremental | sampled (empty = off, byte-identical output)")
+		alMode = flag.String("al-mode", "", "record the eq. (3) average-latency series in fig5*/churn metrics streams: exact | incremental | sampled | sketch (empty = off, byte-identical output)")
+
+		scaleN = flag.Int("scale-n", 0, "fig5a-scale: cap the peer ladder at this n (0 = full ladder to 1e6)")
+		shards = flag.Int("shards", 0, "fig5a-scale: parallel engines in the sharded simulator (0 = one per transit domain); any value yields byte-identical streams")
 
 		faultLoss  = flag.Float64("loss", 0, "figRa: pin the message-loss probability, collapsing the sweep to {0, value} (0 = default sweep)")
 		faultCrash = flag.Float64("crash", 0, "figRb: pin the crash-stop fraction, collapsing the sweep to {0, value} (0 = default sweep)")
@@ -109,7 +118,7 @@ func main() {
 		Seed: *seed, Trials: *trials, Scale: *scale,
 		OracleRowBudget: *oracleRows, OracleFloat32: *oracleF32,
 		FaultLoss: *faultLoss, FaultCrash: *faultCrash, FaultPartitionMS: *faultPart,
-		ALMode: *alMode,
+		ALMode: *alMode, ScaleMaxN: *scaleN, Shards: *shards,
 	}
 	firstCSV := true
 	for _, id := range ids {
@@ -136,6 +145,13 @@ func main() {
 			// byte-compatibility reason as the fault overrides.
 			if *alMode != "" {
 				man.Flags["al-mode"] = *alMode
+			}
+			// Likewise the scaling knobs (fig5a-scale only).
+			if *scaleN > 0 {
+				man.Flags["scale-n"] = strconv.Itoa(*scaleN)
+			}
+			if *shards > 0 {
+				man.Flags["shards"] = strconv.Itoa(*shards)
 			}
 			reg = obs.New(man)
 			if *metricsWall {

@@ -26,6 +26,11 @@ const (
 	// point; unreachable pairs are redrawn or skipped (and counted), never
 	// fatal.
 	ALModeSampled = "sampled"
+	// ALModeSketch estimates from k full source rows with a
+	// metrics.ALEstimator (unbiased, O(k·Dijkstra) per sample — the scale
+	// tier of the AL ladder, see SCALING.md). Alongside al_ms it records the
+	// sketch's standard error as al_stderr_ms.
+	ALModeSketch = "sketch"
 )
 
 // alProbe evaluates the paper's eq. (3) average latency at experiment
@@ -35,8 +40,9 @@ type alProbe struct {
 	mode    string
 	tracker *metrics.ALTracker // exact + incremental modes
 	o       *overlay.Overlay
-	sample  int       // sampled mode: pairs per estimate
-	r       *rng.Rand // sampled mode: dedicated deterministic stream
+	sample  int                  // sampled mode: pairs per estimate
+	r       *rng.Rand            // sampled/sketch modes: dedicated deterministic stream
+	est     *metrics.ALEstimator // sketch mode
 }
 
 // newALProbe builds the probe for opt.ALMode over o, or nil when the mode
@@ -66,9 +72,16 @@ func newALProbe(opt Options, o *overlay.Overlay, seed uint64, sample int) (*alPr
 			sample: sample,
 			r:      rng.New(seed ^ 0xa17ec0de5eed),
 		}, nil
+	case ALModeSketch:
+		est, err := metrics.NewALEstimator(metrics.OverlayFloodSource(o, nil),
+			metrics.ALEstimatorOptions{}, rng.New(seed^0xa17e57e57))
+		if err != nil {
+			return nil, err
+		}
+		return &alProbe{mode: opt.ALMode, o: o, est: est}, nil
 	default:
-		return nil, fmt.Errorf("experiment: unknown AL mode %q (want %q, %q or %q)",
-			opt.ALMode, ALModeExact, ALModeIncremental, ALModeSampled)
+		return nil, fmt.Errorf("experiment: unknown AL mode %q (want %q, %q, %q or %q)",
+			opt.ALMode, ALModeExact, ALModeIncremental, ALModeSampled, ALModeSketch)
 	}
 }
 
@@ -80,6 +93,15 @@ func (p *alProbe) measure(tr *obs.Trial, prefix string, t float64) (float64, err
 	}
 	var al float64
 	switch p.mode {
+	case ALModeSketch:
+		sk, err := p.est.Estimate()
+		if err != nil {
+			return 0, fmt.Errorf("experiment: sketch AL at t=%v: %w", t, err)
+		}
+		if tr != nil {
+			tr.Series(prefix+"al_stderr_ms").Sample(t, sk.StdErr)
+		}
+		al = sk.AL
 	case ALModeSampled:
 		v, skipped, err := metrics.AverageLatencySampled(p.o, nil, p.sample, p.r)
 		if err != nil {

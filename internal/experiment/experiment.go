@@ -71,6 +71,17 @@ type Options struct {
 	// and counting them in "al.sample_skips"). Empty — the default — keeps
 	// the AL machinery detached and every output byte-identical to before.
 	ALMode string
+	// ScaleMaxN caps the fig5a-scale peer ladder (cmd/propsim -scale-n):
+	// rungs above it are dropped and the top rung becomes exactly this value
+	// (further shrunk by Scale). 0 means the full ladder to 10^6. The other
+	// experiments ignore it.
+	ScaleMaxN int
+	// Shards sets the sharded engine's parallel engine count for fig5a-scale
+	// (cmd/propsim -shards); 0 means one engine per transit domain. The
+	// metrics stream is byte-identical for every admissible value (the
+	// internal/shard determinism contract), so this is purely a wall-clock
+	// knob. The other experiments ignore it.
+	Shards int
 	// Metrics, when non-nil, switches the observability layer on: the
 	// instrumented experiments (fig5*, fig6*, fig7, churn) record per-trial
 	// phase spans, sim-clock time series of the protocol/overlay/back-off
@@ -169,16 +180,17 @@ type runner struct {
 }
 
 var registry = map[string]runner{
-	"fig5a":    {"Fig. 5(a): PROP-G in Gnutella, lookup latency vs time, varying TTL", runFig5a},
-	"fig5b":    {"Fig. 5(b): PROP-G in Gnutella, varying system size", runFig5b},
-	"fig5c":    {"Fig. 5(c): PROP-G in Gnutella, varying physical topology", runFig5c},
-	"fig6a":    {"Fig. 6(a): PROP-G in Chord, stretch vs time, varying TTL", runFig6a},
-	"fig6b":    {"Fig. 6(b): PROP-G in Chord, varying system size", runFig6b},
-	"fig6c":    {"Fig. 6(c): PROP-G in Chord, varying physical topology", runFig6c},
-	"fig7":     {"Fig. 7: PROP-O vs PROP-G vs LTM under bimodal processing delay", runFig7},
-	"overhead": {"§4.3: messages per adjustment, measured vs model", runOverhead},
-	"churn":    {"§3.2/§4.3: probe frequency and stretch under churn", runChurn},
-	"combo":    {"§1/§6: PROP-G combined with PNS (Chord) and PIS (CAN)", runCombo},
+	"fig5a":       {"Fig. 5(a): PROP-G in Gnutella, lookup latency vs time, varying TTL", runFig5a},
+	"fig5a-scale": {"Fig. 5(a) at scale: domain-sharded engine, estimated AL vs time, n up to 10^6", runFig5aScale},
+	"fig5b":       {"Fig. 5(b): PROP-G in Gnutella, varying system size", runFig5b},
+	"fig5c":       {"Fig. 5(c): PROP-G in Gnutella, varying physical topology", runFig5c},
+	"fig6a":       {"Fig. 6(a): PROP-G in Chord, stretch vs time, varying TTL", runFig6a},
+	"fig6b":       {"Fig. 6(b): PROP-G in Chord, varying system size", runFig6b},
+	"fig6c":       {"Fig. 6(c): PROP-G in Chord, varying physical topology", runFig6c},
+	"fig7":        {"Fig. 7: PROP-O vs PROP-G vs LTM under bimodal processing delay", runFig7},
+	"overhead":    {"§4.3: messages per adjustment, measured vs model", runOverhead},
+	"churn":       {"§3.2/§4.3: probe frequency and stretch under churn", runChurn},
+	"combo":       {"§1/§6: PROP-G combined with PNS (Chord) and PIS (CAN)", runCombo},
 }
 
 // IDs lists all experiment identifiers in sorted order.

@@ -16,9 +16,9 @@ func quickOpt() Options { return Options{Seed: 7, Trials: 1, Scale: 0.2} }
 func TestRegistry(t *testing.T) {
 	ids := IDs()
 	want := []string{
-		"chordchurn", "churn", "combo", "fig5a", "fig5b", "fig5c", "fig6a", "fig6b", "fig6c",
-		"fig7", "figRa", "figRb", "figRc", "inflight", "kademlia", "minvar", "noise", "overhead",
-		"pastry", "replication", "satmatch", "traffic", "warmup",
+		"chordchurn", "churn", "combo", "fig5a", "fig5a-scale", "fig5b", "fig5c", "fig6a", "fig6b",
+		"fig6c", "fig7", "figRa", "figRb", "figRc", "inflight", "kademlia", "minvar", "noise",
+		"overhead", "pastry", "replication", "satmatch", "traffic", "warmup",
 	}
 	if len(ids) != len(want) {
 		t.Fatalf("IDs = %v", ids)

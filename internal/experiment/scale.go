@@ -1,0 +1,126 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/shard"
+	"repro/internal/stats"
+)
+
+// fig5a-scale is the scaling companion of fig5a (SCALING.md): the same
+// question — how much does PROP-G-style swapping improve average latency
+// over time — asked at 10⁴–10⁶ peers, where the sequential engine and the
+// exact AL evaluation are both unaffordable. Each rung of the ladder runs
+// the domain-sharded engine (internal/shard) on a ScaleTS world and
+// samples the landmark-estimated average latency; the smallest rung keeps
+// the exact eq. (3) reference alongside, so the estimator's in-stream
+// error is continuously visible at the size where it can still be checked.
+
+const (
+	// scaleMinPeers is the smallest rung: one ScaleTS stub layer (16
+	// domains × 8 routers × 32 hosts), also the largest size where the
+	// exact AL reference is computed alongside the estimate.
+	scaleMinPeers = 4096
+	// scaleMaxPeers is the top of the default ladder.
+	scaleMaxPeers = 1_000_000
+	// scaleHorizonMS and scaleMinHorizonMS bound the simulated optimization
+	// window: ten minutes at full Scale, shrunk proportionally (with a
+	// floor that keeps at least three samples) for quick runs.
+	scaleHorizonMS    = 10 * 60000
+	scaleMinHorizonMS = 4 * 60000
+)
+
+// scaleRungs returns the peer-count ladder: geometric steps up to the
+// effective maximum (Options.ScaleMaxN, default 10⁶, shrunk by
+// Options.Scale), always ending exactly at that maximum.
+func scaleRungs(opt Options) []int {
+	maxN := opt.ScaleMaxN
+	if maxN <= 0 {
+		maxN = scaleMaxPeers
+	}
+	maxN = scaled(maxN, opt.Scale, scaleMinPeers)
+	var rungs []int
+	for _, r := range []int{scaleMinPeers, 32768, 262144} {
+		if r < maxN {
+			rungs = append(rungs, r)
+		}
+	}
+	return append(rungs, maxN)
+}
+
+func runFig5aScale(opt Options) (*Result, error) {
+	rungs := scaleRungs(opt)
+	horizon := float64(scaled(scaleHorizonMS, opt.Scale, scaleMinHorizonMS))
+	// The sharded engine samples its own stream, so the experiment needs a
+	// registry even when the caller didn't ask for one.
+	reg := opt.Metrics
+	if reg == nil {
+		reg = obs.New(obs.NewManifest("fig5a-scale", opt.Seed, len(rungs), opt.Scale))
+	}
+
+	// The exact eq. (3) reference (O(n·Dijkstra) per sample) rides along on
+	// the smallest rung, and only at full Scale: it is the fidelity check of
+	// a real run, not something the quick-sweep tests should pay for.
+	exactRung := opt.Scale >= 1
+	series := make([]stats.Series, len(rungs))
+	notes := []string{
+		fmt.Sprintf("sharded engine: %d rung(s), horizon %.0f sim-min, seed=%d scale=%.2f", len(rungs), horizon/60000, opt.Seed, opt.Scale),
+		fmt.Sprintf("al series are %d-source sketches (metrics.ALEstimator); exact reference + al_err_pct on the n=%d rung at full scale: %v", 16, scaleMinPeers, exactRung),
+	}
+	for i, n := range rungs {
+		cfg := shard.Config{
+			Peers:     n,
+			Shards:    opt.Shards,
+			Seed:      trialSeed(opt.Seed, i),
+			HorizonMS: horizon,
+			ExactAL:   exactRung && n <= scaleMinPeers,
+		}
+		tr := reg.Trial(i)
+		wallStart := time.Now()
+		sp := tr.StartSpan("gen-world", 0)
+		e, err := shard.New(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fig5a-scale n=%d: %w", n, err)
+		}
+		sp.End(0)
+		prefix := fmt.Sprintf("n=%d/", e.Peers())
+		sp = tr.StartSpan(prefix+"simulate", 0)
+		if err := e.Run(tr, prefix); err != nil {
+			return nil, fmt.Errorf("fig5a-scale n=%d: %w", n, err)
+		}
+		sp.End(horizon)
+		st := e.Stats()
+		notes = append(notes, fmt.Sprintf(
+			"n=%d: %d peers, %d shards, lookahead %.0f ms, %d epochs, %d exchanges, %d cross-shard msgs, %d snapshot conflicts",
+			n, st.Peers, st.Shards, st.LookaheadMS, st.Epochs, st.Exchanges, st.CrossShard, st.SnapshotConflicts))
+		// Wall time and memory ride the obs stream only when the registry
+		// has opted into wall-clock fields (propsim -metrics-wall) — they
+		// are inherently nondeterministic, and the default stream stays
+		// byte-identical across runs.
+		if reg.WallClock() {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			tr.Series(prefix+"walltime_s").Sample(horizon, time.Since(wallStart).Seconds())
+			tr.Series(prefix+"heap_alloc_mb").Sample(horizon, float64(ms.HeapAlloc)/(1<<20))
+		}
+
+		ts, vs := tr.Series(prefix + "al_est_ms").Points()
+		s := stats.Series{Label: fmt.Sprintf("n=%d", e.Peers())}
+		for j := range ts {
+			s.Add(ts[j]/60000, vs[j])
+		}
+		series[i] = s
+	}
+	return &Result{
+		ID:     "fig5a-scale",
+		Title:  "PROP-G at scale: sharded engine, estimated AL vs time, varying the system size",
+		XLabel: "time (min)",
+		YLabel: "estimated average latency (ms)",
+		Series: series,
+		Notes: append(notes,
+			"expected shape: every rung's estimated AL decreases over the run; larger n converges slower in wall terms, not in sim time"),
+	}, nil
+}

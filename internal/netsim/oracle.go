@@ -26,6 +26,12 @@ type oracleInstr struct {
 	computes *obs.Counter
 	// evictions counts bounded-mode row evictions.
 	evictions *obs.Counter
+	// refreshRebuilds counts Refresh calls that fell back to a full rebuild
+	// (any RefreshFallbackReason); refreshF32 counts the Float32 subset,
+	// the silent-degradation case DESIGN.md §11 calls out. Attached by
+	// SetRefreshInstruments.
+	refreshRebuilds *obs.Counter
+	refreshF32      *obs.Counter
 }
 
 // OracleOptions selects the oracle's row representation and memory policy.
@@ -144,11 +150,38 @@ func (o *Oracle) NumNodes() int { return o.fz.NumVertices() }
 // before sharing the oracle across goroutines: the field itself is not
 // synchronized.
 func (o *Oracle) SetInstruments(queries, hits, computes, evictions *obs.Counter) {
-	if queries == nil && hits == nil && computes == nil && evictions == nil {
+	next := oracleInstr{queries: queries, hits: hits, computes: computes, evictions: evictions}
+	if o.instr != nil {
+		next.refreshRebuilds = o.instr.refreshRebuilds
+		next.refreshF32 = o.instr.refreshF32
+	}
+	if next == (oracleInstr{}) {
 		o.instr = nil
 		return
 	}
-	o.instr = &oracleInstr{queries: queries, hits: hits, computes: computes, evictions: evictions}
+	o.instr = &next
+}
+
+// SetRefreshInstruments attaches obs counters for Refresh fallbacks:
+// rebuilds counts every Refresh that abandoned the incremental path for a
+// full rebuild, and float32 counts the RefreshFallbackFloat32 subset — the
+// mode that can never repair in place, so a Float32 oracle under churn pays
+// full rebuild cost on every refresh. Either counter may be nil. Like
+// SetInstruments (whose counters it composes with), attach before sharing
+// the oracle across goroutines.
+func (o *Oracle) SetRefreshInstruments(rebuilds, float32Fallbacks *obs.Counter) {
+	next := oracleInstr{refreshRebuilds: rebuilds, refreshF32: float32Fallbacks}
+	if o.instr != nil {
+		next.queries = o.instr.queries
+		next.hits = o.instr.hits
+		next.computes = o.instr.computes
+		next.evictions = o.instr.evictions
+	}
+	if next == (oracleInstr{}) {
+		o.instr = nil
+		return
+	}
+	o.instr = &next
 }
 
 // Latency returns the physical shortest-path latency from u to v in

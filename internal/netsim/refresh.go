@@ -33,11 +33,44 @@ type RefreshStats struct {
 	RowsKept, RowsRepaired, RowsDropped int
 	// FullRebuild is set when the refresh fell back to freeze-from-scratch
 	// plus a cold cache: journal overflow, vertex growth, Float32 rows, or
-	// a majority of domains dirty.
+	// a majority of domains dirty. Reason says which.
 	FullRebuild bool
+	// Reason identifies the fallback trigger when FullRebuild is set, and is
+	// RefreshFallbackNone otherwise.
+	Reason RefreshFallbackReason
 	// Compacted is set when the delta view was folded into a flat CSR.
 	Compacted bool
 }
+
+// RefreshFallbackReason identifies why a Refresh abandoned the incremental
+// repair path and rebuilt from scratch. Large-n runs should watch these
+// (via Oracle.SetRefreshInstruments or RefreshStats.Reason): a refresh that
+// silently degrades to rebuilds loses the incremental win without any other
+// symptom (DESIGN.md §11).
+type RefreshFallbackReason string
+
+const (
+	// RefreshFallbackNone marks a refresh that stayed on the incremental
+	// path (FullRebuild unset).
+	RefreshFallbackNone RefreshFallbackReason = ""
+	// RefreshFallbackJournal: the mutation batch overflowed the journal
+	// (more than oracleJournalCap mutations since the last refresh).
+	RefreshFallbackJournal RefreshFallbackReason = "journal-overflow"
+	// RefreshFallbackVertexGrowth: the graph gained vertices, which the
+	// patched CSR view cannot represent.
+	RefreshFallbackVertexGrowth RefreshFallbackReason = "vertex-growth"
+	// RefreshFallbackFloat32: the oracle stores rounded float32 rows, which
+	// cannot be repaired bit-exactly in place (repair works in float64 and
+	// would re-round, drifting from a cold computation). Pick float64 rows
+	// (possibly with RowBudget) when refresh performance matters.
+	RefreshFallbackFloat32 RefreshFallbackReason = "float32"
+	// RefreshFallbackMajorityDirty: more than half the transit domains own a
+	// touched edge, so repairing rows costs more than recomputing them.
+	RefreshFallbackMajorityDirty RefreshFallbackReason = "majority-dirty"
+	// RefreshFallbackDeltaMiss: the delta-view chain from the last anchor
+	// could not be reconstructed (anchor version no longer in the journal).
+	RefreshFallbackDeltaMiss RefreshFallbackReason = "delta-miss"
+)
 
 // refreshCompactDenom sets the compaction threshold: when more than
 // 1/refreshCompactDenom of the rows are patched, Refresh folds the delta
@@ -54,7 +87,9 @@ const refreshCompactDenom = 4
 // full O(n·Dijkstra + freeze) rebuild; see BENCH_PR7.json for measured
 // ratios. Falls back to a full rebuild when the journal overflowed, when
 // the graph grew vertices, in Float32 mode (rounded rows cannot be repaired
-// exactly), or when more than half the transit domains are dirty.
+// exactly), or when more than half the transit domains are dirty; the
+// returned stats carry the RefreshFallbackReason, and SetRefreshInstruments
+// exposes the same signal as obs counters for long runs.
 func (o *Oracle) Refresh() RefreshStats {
 	g := o.net.Graph
 	muts, ok := g.MutationsSince(o.ver)
@@ -62,8 +97,15 @@ func (o *Oracle) Refresh() RefreshStats {
 		return RefreshStats{}
 	}
 	st := RefreshStats{Mutations: len(muts)}
-	if !ok || o.opt.Float32 || g.NumVertices() != o.fz.NumVertices() {
-		o.fullRebuild(&st)
+	switch {
+	case !ok:
+		o.fullRebuild(&st, RefreshFallbackJournal)
+		return st
+	case o.opt.Float32:
+		o.fullRebuild(&st, RefreshFallbackFloat32)
+		return st
+	case g.NumVertices() != o.fz.NumVertices():
+		o.fullRebuild(&st, RefreshFallbackVertexGrowth)
 		return st
 	}
 	added, removed := graph.NetDiff(muts)
@@ -89,7 +131,7 @@ func (o *Oracle) Refresh() RefreshStats {
 	}
 	st.DirtyDomains = len(dirtySet)
 	if 2*len(dirtySet) > o.net.Config.TransitDomains {
-		o.fullRebuild(&st)
+		o.fullRebuild(&st, RefreshFallbackMajorityDirty)
 		return st
 	}
 	domains := make([]int, 0, len(dirtySet))
@@ -102,7 +144,7 @@ func (o *Oracle) Refresh() RefreshStats {
 	// into a flat snapshot when the patch covers a quarter of the rows.
 	dv, ok := graph.DeltaFrom(g, o.base, o.baseVer)
 	if !ok {
-		o.fullRebuild(&st)
+		o.fullRebuild(&st, RefreshFallbackDeltaMiss)
 		return st
 	}
 	if dv.PatchedRows()*refreshCompactDenom > dv.NumVertices() {
@@ -176,11 +218,20 @@ func (o *Oracle) dropRow(src int) {
 }
 
 // fullRebuild is the pre-delta behavior: freeze the graph from scratch and
-// start with a cold cache.
-func (o *Oracle) fullRebuild(st *RefreshStats) {
+// start with a cold cache. It stamps the stats with why the incremental
+// path was abandoned and bumps the refresh fallback counters when
+// instrumented.
+func (o *Oracle) fullRebuild(st *RefreshStats, why RefreshFallbackReason) {
 	g := o.net.Graph
 	st.FullRebuild = true
+	st.Reason = why
 	st.RowsDropped = int(o.cached.Load())
+	if o.instr != nil {
+		o.instr.refreshRebuilds.Add(1)
+		if why == RefreshFallbackFloat32 {
+			o.instr.refreshF32.Add(1)
+		}
+	}
 	o.base = g.Freeze()
 	o.fz = o.base
 	o.baseVer = g.Version()

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -128,10 +129,15 @@ func TestRefreshFullRebuildPaths(t *testing.T) {
 		t.Fatal(err)
 	}
 	o := NewOracleWith(net, OracleOptions{Float32: true})
+	var rebuilds, f32 obs.Counter
+	o.SetRefreshInstruments(&rebuilds, &f32)
 	o.Precompute(net.StubHosts[:4])
 	churnMutation(t, net, net.StubHosts[0], 1.0)
-	if st := o.Refresh(); !st.FullRebuild {
-		t.Fatalf("Float32 refresh must rebuild, got %+v", st)
+	if st := o.Refresh(); !st.FullRebuild || st.Reason != RefreshFallbackFloat32 {
+		t.Fatalf("Float32 refresh must rebuild with reason %q, got %+v", RefreshFallbackFloat32, st)
+	}
+	if rebuilds.Value() != 1 || f32.Value() != 1 {
+		t.Fatalf("refresh instruments = (%d rebuilds, %d float32), want (1, 1)", rebuilds.Value(), f32.Value())
 	}
 	if o.CachedRows() != 0 {
 		t.Fatalf("rebuild left %d cached rows", o.CachedRows())
@@ -143,15 +149,21 @@ func TestRefreshFullRebuildPaths(t *testing.T) {
 		t.Fatalf("post-rebuild latency %v, want ~%v", got, want)
 	}
 
-	// Vertex growth also rebuilds (in float64 mode).
+	// Vertex growth also rebuilds (in float64 mode), with its own reason and
+	// without touching the Float32-specific counter.
 	o2 := NewOracle(net)
+	var rebuilds2, f322 obs.Counter
+	o2.SetRefreshInstruments(&rebuilds2, &f322)
 	o2.Precompute(net.StubHosts[:4])
 	v := net.Graph.AddVertex()
 	net.Graph.MustAddEdge(v, net.StubHosts[0], 3)
 	// Network metadata (Domain, Tiers) is not extended here; growth must be
 	// absorbed before any domain logic runs.
-	if st := o2.Refresh(); !st.FullRebuild {
-		t.Fatalf("vertex growth must rebuild, got %+v", st)
+	if st := o2.Refresh(); !st.FullRebuild || st.Reason != RefreshFallbackVertexGrowth {
+		t.Fatalf("vertex growth must rebuild with reason %q, got %+v", RefreshFallbackVertexGrowth, st)
+	}
+	if rebuilds2.Value() != 1 || f322.Value() != 0 {
+		t.Fatalf("refresh instruments = (%d rebuilds, %d float32), want (1, 0)", rebuilds2.Value(), f322.Value())
 	}
 	if got := o2.NumNodes(); got != net.Graph.NumVertices() {
 		t.Fatalf("post-growth NumNodes = %d, want %d", got, net.Graph.NumVertices())

@@ -1,0 +1,59 @@
+package netsim
+
+// This file holds the scale tier of the transit-stub generator (DESIGN.md
+// §12, SCALING.md): a preset family sized by target host count rather than
+// by the paper's fixed figures, plus the conservative-lookahead derivation
+// the domain-sharded engine (internal/shard) builds its epoch windows from.
+
+// ScaleTransitDomains is the backbone width of every ScaleTS preset. It is
+// fixed — rather than grown with n — so that the shard engine's domain
+// partition, and with it the set of admissible shard counts (any 1..16),
+// is the same at every rung of a scaling sweep.
+const ScaleTransitDomains = 16
+
+// scaleNodesPerStub is the stub-domain size of every ScaleTS preset. Stub
+// domains stay GT-ITM-small (a ring of 32 hosts plus chords) and the preset
+// scales by multiplying stub domains, not by inflating them into latency-
+// distorting mega-rings.
+const scaleNodesPerStub = 32
+
+// ScaleTS returns a transit-stub preset with at least n stub hosts: the
+// fixed 16-domain backbone of ScaleTransitDomains, 8 routers per domain,
+// 32-host stub rings, and as many stub domains per router as n requires.
+// Link latencies match TSLarge, so results compose with the fig5* family.
+// The preset is how the scaling experiments (fig5a-scale) reach 10^5-10^6
+// hosts while keeping per-domain structure — and therefore the shard
+// engine's lookahead — identical across rungs. n < one stub domain per
+// router is rounded up to that minimum (16·8·32 = 4096 hosts).
+func ScaleTS(n int) Config {
+	perRouter := ScaleTransitDomains * 8 * scaleNodesPerStub
+	stubsPerRouter := (n + perRouter - 1) / perRouter
+	if stubsPerRouter < 1 {
+		stubsPerRouter = 1
+	}
+	return Config{
+		Name:                  "ts-scale",
+		TransitDomains:        ScaleTransitDomains,
+		TransitNodesPerDomain: 8,
+		StubDomainsPerTransit: stubsPerRouter,
+		NodesPerStub:          scaleNodesPerStub,
+		StubExtraEdgeProb:     0.05,
+		InterDomainEdgeProb:   0.5,
+		StubStubMS:            5,
+		StubTransitMS:         20,
+		TransitTransitMS:      50,
+	}
+}
+
+// CrossDomainFloorMS returns a conservative lower bound on the physical
+// latency between any two stub hosts in different transit domains: every
+// such path climbs one stub-transit uplink on each side and crosses at
+// least one transit-transit backbone link, so it costs at least
+// 2·StubTransitMS + TransitTransitMS. This is the lookahead the
+// domain-sharded engine (internal/shard) uses for its epoch windows — a
+// message between shards can never arrive sooner than this bound, so a
+// barrier every CrossDomainFloorMS of simulated time is sufficient for
+// exact cross-shard delivery (DESIGN.md §12).
+func (c Config) CrossDomainFloorMS() float64 {
+	return 2*c.StubTransitMS + c.TransitTransitMS
+}

@@ -1,0 +1,76 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestScaleTSSizing checks the preset reaches the requested host count with
+// the fixed backbone, and that the minimum rung is exactly 4096 hosts.
+func TestScaleTSSizing(t *testing.T) {
+	for _, n := range []int{0, 1, 4096, 10_000, 100_000, 1_000_000} {
+		cfg := ScaleTS(n)
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("ScaleTS(%d) invalid: %v", n, err)
+		}
+		if cfg.TransitDomains != ScaleTransitDomains {
+			t.Fatalf("ScaleTS(%d).TransitDomains = %d, want %d", n, cfg.TransitDomains, ScaleTransitDomains)
+		}
+		hosts := cfg.TotalStubHosts()
+		if hosts < n {
+			t.Fatalf("ScaleTS(%d) yields %d hosts", n, hosts)
+		}
+		if hosts < 4096 {
+			t.Fatalf("ScaleTS(%d) yields %d hosts, want >= 4096 minimum", n, hosts)
+		}
+		// Never overshoot by more than one stub-domain layer (128 domains of
+		// 32 hosts): the preset scales by stub count, not by rounding slack.
+		if n >= 4096 && hosts-n >= ScaleTransitDomains*8*scaleNodesPerStub {
+			t.Fatalf("ScaleTS(%d) overshoots to %d hosts", n, hosts)
+		}
+	}
+	if got := ScaleTS(4096).TotalStubHosts(); got != 4096 {
+		t.Fatalf("ScaleTS(4096) = %d hosts, want exactly 4096", got)
+	}
+}
+
+// TestCrossDomainFloor verifies the lookahead bound against measured
+// latencies: every cross-domain stub-host pair must be at least
+// CrossDomainFloorMS apart, and some intra-domain pair must be closer (the
+// bound is meaningful, not vacuous).
+func TestCrossDomainFloor(t *testing.T) {
+	cfg := TSSmall()
+	net, err := Generate(cfg, rng.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	floor := cfg.CrossDomainFloorMS()
+	if floor <= 0 {
+		t.Fatalf("CrossDomainFloorMS = %v", floor)
+	}
+	o := NewOracle(net)
+	hosts := net.StubHosts
+	if len(hosts) > 64 {
+		hosts = hosts[:64]
+	}
+	sawIntraBelow := false
+	for _, u := range hosts {
+		for _, v := range hosts {
+			if u == v {
+				continue
+			}
+			d := o.Latency(u, v)
+			if net.Domain[u] != net.Domain[v] {
+				if d < floor {
+					t.Fatalf("cross-domain pair (%d,%d) at %vms beats floor %vms", u, v, d, floor)
+				}
+			} else if d < floor {
+				sawIntraBelow = true
+			}
+		}
+	}
+	if !sawIntraBelow {
+		t.Fatal("no intra-domain pair below the cross-domain floor; bound is vacuous")
+	}
+}

@@ -1,0 +1,161 @@
+package shard
+
+import (
+	"math"
+	"sync"
+)
+
+// floodSource adapts the engine's struct-of-arrays state to the
+// metrics.FloodSource seam: slots are the logical vertices, edge weight
+// between adjacent slots is the landmark-estimated latency between their
+// current occupants, and FloodInto is a Dijkstra over the logical CSR.
+// The occupancy snapshot (peerAt) is rebuilt by refresh at each sample
+// barrier, so rows computed in parallel by the estimator all read one
+// consistent frozen placement.
+type floodSource struct {
+	e      *Engine
+	alive  []int
+	peerAt []int32 // slot → occupying peer, frozen at the last refresh
+	pool   sync.Pool
+}
+
+// flItem is one lazy-deletion Dijkstra heap entry.
+type flItem struct {
+	d float64
+	s int32
+}
+
+// flHeap is the pooled Dijkstra scratch: a 4-ary min-heap with lazy
+// deletion (stale entries are skipped on pop against the dist array).
+type flHeap struct {
+	a []flItem
+}
+
+func (h *flHeap) push(it flItem) {
+	h.a = append(h.a, it)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if h.a[i].d >= h.a[p].d {
+			break
+		}
+		h.a[i], h.a[p] = h.a[p], h.a[i]
+		i = p
+	}
+}
+
+func (h *flHeap) pop() flItem {
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	i := 0
+	for {
+		first := i<<2 + 1
+		if first >= last {
+			break
+		}
+		best := first
+		end := first + 4
+		if end > last {
+			end = last
+		}
+		for c := first + 1; c < end; c++ {
+			if h.a[c].d < h.a[best].d {
+				best = c
+			}
+		}
+		if h.a[best].d >= h.a[i].d {
+			break
+		}
+		h.a[i], h.a[best] = h.a[best], h.a[i]
+		i = best
+	}
+	return top
+}
+
+// newFloodSource builds the measurement plane over e. The initial snapshot
+// is the (conflict-free) starting placement.
+func newFloodSource(e *Engine) *floodSource {
+	f := &floodSource{
+		e:      e,
+		alive:  make([]int, e.n),
+		peerAt: make([]int32, e.n),
+	}
+	for i := range f.alive {
+		f.alive[i] = i
+	}
+	f.pool.New = func() any { return &flHeap{} }
+	f.refresh()
+	return f
+}
+
+// refresh rebuilds the slot→peer snapshot from slotOf and returns the
+// number of conflicts it resolved. Mid-flight swaps can leave a slot
+// double-claimed at a barrier (the acceptor moved, the proposer's
+// acknowledgment still in transit); resolution is deterministic and
+// shard-count independent: ascending peers claim their slot first-wins,
+// then displaced peers (ascending) fill the unclaimed slots (ascending).
+func (f *floodSource) refresh() (conflicts int) {
+	e := f.e
+	for s := range f.peerAt {
+		f.peerAt[s] = -1
+	}
+	var displaced []int32
+	for p := 0; p < e.n; p++ {
+		s := e.slotOf[p]
+		if f.peerAt[s] < 0 {
+			f.peerAt[s] = int32(p)
+		} else {
+			displaced = append(displaced, int32(p))
+		}
+	}
+	if len(displaced) == 0 {
+		return 0
+	}
+	next := 0
+	for s := 0; s < e.n && next < len(displaced); s++ {
+		if f.peerAt[s] < 0 {
+			f.peerAt[s] = displaced[next]
+			next++
+		}
+	}
+	return len(displaced)
+}
+
+// NumSlots reports the slot-index space size (one slot per peer).
+func (f *floodSource) NumSlots() int { return f.e.n }
+
+// AliveSlots returns all slots: the logical overlay is static and every
+// slot is always occupied.
+func (f *floodSource) AliveSlots() []int { return f.alive }
+
+// FloodInto runs Dijkstra from src over the logical overlay under the
+// frozen occupancy snapshot. Safe for concurrent calls with distinct dist
+// buffers (scratch heaps come from a pool); the snapshot itself must be
+// quiescent, which the sample barrier guarantees.
+func (f *floodSource) FloodInto(src int, dist []float64) {
+	e := f.e
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	h := f.pool.Get().(*flHeap)
+	h.a = h.a[:0]
+	dist[src] = 0
+	h.push(flItem{d: 0, s: int32(src)})
+	for len(h.a) > 0 {
+		it := h.pop()
+		if it.d > dist[it.s] {
+			continue
+		}
+		p := f.peerAt[it.s]
+		for _, t := range e.nbrs(it.s) {
+			d := it.d + e.estLat(p, f.peerAt[t])
+			if d < dist[t] {
+				dist[t] = d
+				h.push(flItem{d: d, s: t})
+			}
+		}
+	}
+	f.pool.Put(h)
+}

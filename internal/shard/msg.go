@@ -1,0 +1,120 @@
+package shard
+
+// The event currency of the sharded engine. The sequential engine
+// (internal/event) stores closures; at 10⁶ peers and ~10⁷–10⁸ events a
+// closure per event is pure allocator pressure, so shards trade generality
+// for a fixed-size typed message: every protocol step is one msg value in
+// a per-shard 4-ary heap, and payloads (occupant rows) are inline arrays.
+
+// kind discriminates the protocol messages of the sharded PROP-G variant.
+type kind uint8
+
+const (
+	// kProbe is a peer's self-timer starting one probe cycle.
+	kProbe kind = iota
+	// kWalk forwards a random walk; a holds the probing peer, hops the
+	// remaining length.
+	kWalk
+	// kReport is the walk endpoint reporting itself to the probing peer:
+	// a = its slot, b = its swap version, row = its occupant cache.
+	kReport
+	// kCommit proposes a slot swap to the reported peer: a = the proposer's
+	// slot, b = the version the proposal is conditioned on, row = the
+	// proposer's occupant cache (the partner's new cache, pre-remap).
+	kCommit
+	// kCommitOK accepts a swap: a = the acceptor's old slot (the proposer's
+	// new one), row = the proposer's new occupant cache (already remapped).
+	kCommitOK
+	// kReject refuses a proposal (version moved or acceptor locked).
+	kReject
+	// kNotify updates one believed occupant: slot a is now held by the
+	// sending peer.
+	kNotify
+)
+
+// msg is one event. origin/oseq form — with the arrival time — the total
+// ordering key: origin is the peer that sent the message (or owns the
+// timer) and oseq its per-peer send counter, so keys are unique and the
+// pop order of any one peer's events is independent of both goroutine
+// scheduling and the shard partition (see the package comment).
+type msg struct {
+	at     float64
+	origin int32
+	oseq   uint32
+	from   int32
+	to     int32
+	a, b   int32
+	kind   kind
+	hops   uint8
+	rlen   uint8
+	row    [maxDeg]int32
+}
+
+// msgLess orders messages by (arrival, origin, per-origin sequence). Keys
+// are unique: a peer never reuses a sequence number.
+func msgLess(x, y *msg) bool {
+	if x.at != y.at {
+		return x.at < y.at
+	}
+	if x.origin != y.origin {
+		return x.origin < y.origin
+	}
+	return x.oseq < y.oseq
+}
+
+// msgHeap is a 4-ary min-heap of messages ordered by msgLess. 4-ary wins
+// over binary here for the same reason as the Dijkstra kernels (DESIGN.md
+// §7): shallower trees mean fewer cache-missing levels per operation, and
+// pops dominate pushes in an event loop.
+type msgHeap struct {
+	a []msg
+}
+
+func (h *msgHeap) len() int { return len(h.a) }
+
+// min returns the smallest message without removing it. Callers must check
+// len first.
+func (h *msgHeap) min() *msg { return &h.a[0] }
+
+func (h *msgHeap) push(m msg) {
+	h.a = append(h.a, m)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !msgLess(&h.a[i], &h.a[p]) {
+			break
+		}
+		h.a[i], h.a[p] = h.a[p], h.a[i]
+		i = p
+	}
+}
+
+func (h *msgHeap) pop() msg {
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	i := 0
+	for {
+		first := i<<2 + 1
+		if first >= last {
+			break
+		}
+		best := first
+		end := first + 4
+		if end > last {
+			end = last
+		}
+		for c := first + 1; c < end; c++ {
+			if msgLess(&h.a[c], &h.a[best]) {
+				best = c
+			}
+		}
+		if !msgLess(&h.a[best], &h.a[i]) {
+			break
+		}
+		h.a[i], h.a[best] = h.a[best], h.a[i]
+		i = best
+	}
+	return top
+}

@@ -1,0 +1,242 @@
+package shard
+
+import "fmt"
+
+// The protocol handlers: a message-passing PROP-G adapted to the sharded
+// engine. One probe cycle is
+//
+//	kProbe → kWalk×(nhop) → kReport → [kCommit → (kCommitOK | kReject)] → kNotify×deg
+//
+// with the swap-gain evaluation done on landmark-estimated latencies and
+// the two-phase commit guarded by per-peer swap versions, so concurrent
+// probes over the same slots never tear the slot↔peer bijection. Handlers
+// obey one discipline that everything else rests on: they read and write
+// ONLY the addressed peer's state (plus immutable world data and message
+// payloads). That is what makes parallel shard execution race-free and the
+// event stream shard-count invariant.
+
+// stamp assigns m's ordering key from the sending peer and delivers it:
+// same-shard messages go straight into the local heap, cross-shard ones
+// into the outbox drained at the next epoch barrier. Cross-shard delivery
+// asserts the lookahead bound — by construction (estLat is an upper bound
+// on a cross-domain distance) the panic is unreachable.
+func (e *Engine) send(sh *shardRun, now float64, m msg) {
+	m.origin = m.from
+	m.oseq = e.oseq[m.from]
+	e.oseq[m.from]++
+	d := e.estLat(m.from, m.to)
+	m.at = now + d
+	dst := e.shardOfPeer[m.to]
+	if dst == sh.id {
+		sh.heap.push(m)
+		return
+	}
+	if d < e.lookahead {
+		panic(fmt.Sprintf("shard: cross-shard delay %v below lookahead %v (peers %d→%d)", d, e.lookahead, m.from, m.to))
+	}
+	sh.out[dst] = append(sh.out[dst], m)
+	sh.stats.CrossShard++
+}
+
+// schedule enqueues a self-timer for peer p at an absolute time. Timers
+// never cross shards.
+func (e *Engine) schedule(sh *shardRun, p int32, at float64, k kind) {
+	m := msg{at: at, origin: p, oseq: e.oseq[p], from: p, to: p, kind: k}
+	e.oseq[p]++
+	sh.heap.push(m)
+}
+
+// handle dispatches one event.
+func (e *Engine) handle(sh *shardRun, m *msg) {
+	switch m.kind {
+	case kProbe:
+		e.handleProbe(sh, m)
+	case kWalk:
+		e.handleWalk(sh, m)
+	case kReport:
+		e.handleReport(sh, m)
+	case kCommit:
+		e.handleCommit(sh, m)
+	case kCommitOK:
+		e.handleCommitOK(sh, m)
+	case kReject:
+		e.pstate[m.to] = 0
+	case kNotify:
+		e.handleNotify(sh, m)
+	}
+}
+
+// handleProbe starts one probe cycle: reschedule the timer (jittered ±25%,
+// only while before the horizon) and, if the peer is idle, launch a random
+// walk to find a swap candidate. A busy peer (mid-probe or mid-commit)
+// skips the cycle rather than queueing.
+func (e *Engine) handleProbe(sh *shardRun, m *msg) {
+	u := m.to
+	sh.stats.Probes++
+	next := m.at + e.cfg.ProbeIntervalMS*(0.75+0.5*u01(e.draw(u)))
+	if next < e.cfg.HorizonMS {
+		e.schedule(sh, u, next, kProbe)
+	}
+	if e.pstate[u] != 0 {
+		return
+	}
+	e.pstate[u] = 1
+	su := e.slotOf[u]
+	j := int(e.draw(u) % uint64(e.deg(su)))
+	target := e.occRow[int(u)*maxDeg+j]
+	sh.stats.Walks++
+	e.send(sh, m.at, msg{from: u, to: target, kind: kWalk, a: u, hops: uint8(e.cfg.WalkHops - 1)})
+}
+
+// handleWalk forwards the walk through believed occupants; at the last hop
+// the endpoint reports itself (slot, version, occupant cache) to the
+// probing peer.
+func (e *Engine) handleWalk(sh *shardRun, m *msg) {
+	w := m.to
+	origin := m.a
+	if m.hops == 0 {
+		sw := e.slotOf[w]
+		rep := msg{from: w, to: origin, kind: kReport, a: sw, b: int32(e.ver[w])}
+		rep.rlen = uint8(e.deg(sw))
+		copy(rep.row[:], e.occRow[int(w)*maxDeg:int(w)*maxDeg+int(rep.rlen)])
+		sh.stats.Reports++
+		e.send(sh, m.at, rep)
+		return
+	}
+	sw := e.slotOf[w]
+	j := int(e.draw(w) % uint64(e.deg(sw)))
+	target := e.occRow[int(w)*maxDeg+j]
+	sh.stats.Walks++
+	e.send(sh, m.at, msg{from: w, to: target, kind: kWalk, a: origin, hops: m.hops - 1})
+}
+
+// swapCost sums the estimated latency from peer p (sitting on slot s) to
+// the believed occupants row of s's neighbors; entries whose slot equals
+// swapSlot are remapped to swapPeer, which is how the post-swap
+// configuration is evaluated without mutating anything.
+func (e *Engine) swapCost(p, s int32, row []int32, swapSlot, swapPeer int32) float64 {
+	total := 0.0
+	for i, x := range e.nbrs(s) {
+		q := row[i]
+		if x == swapSlot {
+			q = swapPeer
+		}
+		total += e.estLat(p, q)
+	}
+	return total
+}
+
+// handleReport evaluates the swap between the probing peer u (slot su) and
+// the reported endpoint v (slot sv): would exchanging slots reduce the
+// summed estimated latency of both neighborhoods? A clear gain sends a
+// version-conditioned commit proposal and locks u until the answer.
+func (e *Engine) handleReport(sh *shardRun, m *msg) {
+	u, v := m.to, m.from
+	if e.pstate[u] != 1 {
+		return
+	}
+	e.pstate[u] = 0
+	sv := m.a
+	su := e.slotOf[u]
+	if v == u || sv == su {
+		return
+	}
+	rowU := e.occRow[int(u)*maxDeg : int(u)*maxDeg+e.deg(su)]
+	rowV := m.row[:m.rlen]
+	before := e.swapCost(u, su, rowU, -1, -1) + e.swapCost(v, sv, rowV, -1, -1)
+	after := e.swapCost(u, sv, rowV, su, v) + e.swapCost(v, su, rowU, sv, u)
+	if before-after <= e.cfg.MinGainMS {
+		sh.stats.GainRejected++
+		return
+	}
+	e.pstate[u] = 2
+	com := msg{from: u, to: v, kind: kCommit, a: su, b: m.b}
+	com.rlen = uint8(len(rowU))
+	copy(com.row[:], rowU)
+	sh.stats.Commits++
+	e.send(sh, m.at, com)
+}
+
+// handleCommit is the acceptor side of the two-phase swap. The proposal is
+// refused if the acceptor's version moved since the report (its slot or
+// cache changed under the proposer's feet) or if the acceptor is itself
+// locked awaiting an acknowledgment. Acceptance moves the acceptor onto
+// the proposer's slot immediately, acknowledges with the proposer's new
+// occupant cache, and notifies the new neighborhood.
+func (e *Engine) handleCommit(sh *shardRun, m *msg) {
+	v, u := m.to, m.from
+	su := m.a
+	if e.pstate[v] == 2 || e.ver[v] != uint32(m.b) {
+		sh.stats.VerRejected++
+		e.send(sh, m.at, msg{from: v, to: u, kind: kReject})
+		return
+	}
+	sv := e.slotOf[v]
+	// The proposer's new cache: occupants of sv's neighbors, with the slot
+	// the acceptor is vacating into (su) now held by v.
+	ack := msg{from: v, to: u, kind: kCommitOK, a: sv}
+	ack.rlen = uint8(e.deg(sv))
+	for i, x := range e.nbrs(sv) {
+		if x == su {
+			ack.row[i] = v
+		} else {
+			ack.row[i] = e.occRow[int(v)*maxDeg+i]
+		}
+	}
+	// The acceptor's new cache: occupants of su's neighbors from the
+	// proposal, with the proposer's destination (sv) remapped to u.
+	nbSU := e.nbrs(su)
+	for i, x := range nbSU {
+		q := m.row[i]
+		if x == sv {
+			q = u
+		}
+		e.occRow[int(v)*maxDeg+i] = q
+	}
+	e.slotOf[v] = su
+	e.ver[v]++
+	sh.stats.Exchanges++
+	e.send(sh, m.at, ack)
+	for i := range nbSU {
+		q := e.occRow[int(v)*maxDeg+i]
+		if q == v || q == u {
+			continue
+		}
+		sh.stats.Notifies++
+		e.send(sh, m.at, msg{from: v, to: q, kind: kNotify, a: su})
+	}
+}
+
+// handleCommitOK completes the proposer's side: take the vacated slot,
+// install the pre-remapped occupant cache from the acknowledgment, unlock,
+// and notify the new neighborhood.
+func (e *Engine) handleCommitOK(sh *shardRun, m *msg) {
+	u, v := m.to, m.from
+	sv := m.a
+	e.slotOf[u] = sv
+	e.ver[u]++
+	e.pstate[u] = 0
+	d := e.deg(sv)
+	copy(e.occRow[int(u)*maxDeg:int(u)*maxDeg+d], m.row[:d])
+	for i := 0; i < d; i++ {
+		q := e.occRow[int(u)*maxDeg+i]
+		if q == u || q == v {
+			continue
+		}
+		sh.stats.Notifies++
+		e.send(sh, m.at, msg{from: u, to: q, kind: kNotify, a: sv})
+	}
+}
+
+// handleNotify updates one believed-occupant entry: if the sender's
+// claimed slot is adjacent to the receiver's current slot, the receiver
+// now believes the sender holds it.
+func (e *Engine) handleNotify(sh *shardRun, m *msg) {
+	q := m.to
+	s := e.slotOf[q]
+	for i, x := range e.nbrs(s) {
+		if x == m.a {
+			e.occRow[int(q)*maxDeg+i] = m.from
+		}
+	}
+}
