@@ -13,11 +13,16 @@
 //	propsim -exp figRb -crash 0.10           # collapse the crash sweep to {0, 10%}
 //	propsim -exp figRc -partition 300000     # 5-minute partition window
 //
+// A fault flag passed to an experiment that does not consume it is an
+// error, not a silent no-op.
+//
 // Scaling (DESIGN.md §12, SCALING.md):
 //
 //	propsim -exp fig5a-scale                             # full ladder to 10^6 peers
 //	propsim -exp fig5a-scale -scale-n 100000 -metrics-out scale.jsonl
 //	propsim -exp fig5a-scale -shards 4                   # same bytes, different wall time
+//	propsim -exp fig5a-scale -loss 0.02 -crash 0.1       # faults on every rung
+//	propsim -exp figR-scale -scale-n 100000 -loss 0.05 -crash 0.1   # fault sweeps at scale
 //
 // Observability (DESIGN.md §8, EXPERIMENTS.md "Metrics streams"):
 //
@@ -65,9 +70,9 @@ func main() {
 		scaleN = flag.Int("scale-n", 0, "fig5a-scale: cap the peer ladder at this n (0 = full ladder to 1e6)")
 		shards = flag.Int("shards", 0, "fig5a-scale: parallel engines in the sharded simulator (0 = one per transit domain); any value yields byte-identical streams")
 
-		faultLoss  = flag.Float64("loss", 0, "figRa: pin the message-loss probability, collapsing the sweep to {0, value} (0 = default sweep)")
-		faultCrash = flag.Float64("crash", 0, "figRb: pin the crash-stop fraction, collapsing the sweep to {0, value} (0 = default sweep)")
-		faultPart  = flag.Float64("partition", 0, "figRc: partition window length in simulated ms (0 = default 15 min)")
+		faultLoss  = flag.Float64("loss", 0, "message-loss probability: collapses the figRa/figR-scale sweep to {0, value}, attaches loss+dup+jitter to every fig5a-scale rung; rejected by other experiments (0 = default)")
+		faultCrash = flag.Float64("crash", 0, "crash-stop fraction: collapses the figRb/figR-scale sweep to {0, value}, attaches churn to every fig5a-scale rung; rejected by other experiments (0 = default)")
+		faultPart  = flag.Float64("partition", 0, "partition window length in simulated ms for figRc/figR-scale/fig5a-scale; rejected by other experiments (0 = default)")
 
 		metricsOn   = flag.Bool("metrics", false, "collect the observability metrics stream (implied by -metrics-out/-metrics-csv)")
 		metricsOut  = flag.String("metrics-out", "", "write the metrics stream as JSONL to this file ('-' = stdout)")

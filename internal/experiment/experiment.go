@@ -53,13 +53,14 @@ type Options struct {
 	// Latencies round once on store (sub-ppm error at millisecond scale),
 	// so outputs may differ in the last digits from the float64 default.
 	OracleFloat32 bool
-	// FaultLoss, FaultCrash, and FaultPartitionMS parameterize the figR*
-	// robustness family (cmd/propsim -loss/-crash/-partition). Zero keeps
-	// each experiment's default: a non-zero FaultLoss or FaultCrash
-	// collapses figRa's/figRb's sweep to {0, value}, and a non-zero
-	// FaultPartitionMS overrides figRc's partition-window length. The
-	// fault-free experiments ignore all three — their runs and metrics
-	// streams stay byte-identical regardless.
+	// FaultLoss, FaultCrash, and FaultPartitionMS parameterize the
+	// fault-aware experiments (cmd/propsim -loss/-crash/-partition). Zero
+	// keeps each experiment's default: a non-zero FaultLoss or FaultCrash
+	// collapses the figRa/figRb/figR-scale sweeps to {0, value} and attaches
+	// the corresponding fault schedule to fig5a-scale; a non-zero
+	// FaultPartitionMS sets the partition-window length (figRc, figR-scale,
+	// fig5a-scale). Run rejects a non-zero override for any experiment that
+	// does not consume it — a set fault knob is never silently ignored.
 	FaultLoss        float64
 	FaultCrash       float64
 	FaultPartitionMS float64
@@ -177,20 +178,72 @@ func (r *Result) Render(w io.Writer) {
 type runner struct {
 	describe string
 	run      func(Options) (*Result, error)
+	// faults declares which fault overrides the experiment consumes; Run
+	// rejects any set override outside this set instead of silently
+	// dropping it.
+	faults faultFlagSet
+}
+
+// faultFlagSet declares which of the fault-override options an experiment
+// consumes (Options.FaultLoss, FaultCrash, FaultPartitionMS — the propsim
+// -loss/-crash/-partition flags).
+type faultFlagSet uint8
+
+const (
+	consumesLoss faultFlagSet = 1 << iota
+	consumesCrash
+	consumesPartition
+
+	consumesAllFaults = consumesLoss | consumesCrash | consumesPartition
+)
+
+// checkFaultFlags rejects fault overrides the experiment would silently
+// ignore. Before this guard, `propsim -exp fig5b -loss 0.05` ran the
+// fault-free experiment and reported clean results as if the faults had
+// been applied.
+func checkFaultFlags(id string, accepts faultFlagSet, opt Options) error {
+	var ignored []string
+	if opt.FaultLoss != 0 && accepts&consumesLoss == 0 {
+		ignored = append(ignored, "-loss")
+	}
+	if opt.FaultCrash != 0 && accepts&consumesCrash == 0 {
+		ignored = append(ignored, "-crash")
+	}
+	if opt.FaultPartitionMS != 0 && accepts&consumesPartition == 0 {
+		ignored = append(ignored, "-partition")
+	}
+	if len(ignored) == 0 {
+		return nil
+	}
+	return fmt.Errorf("experiment: %s does not consume %s (fault overrides apply to: %s)",
+		id, strings.Join(ignored, "/"), strings.Join(faultAwareIDs(), ", "))
+}
+
+// faultAwareIDs lists the experiments consuming at least one fault
+// override, sorted.
+func faultAwareIDs() []string {
+	var ids []string
+	for id, r := range registry {
+		if r.faults != 0 {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
 }
 
 var registry = map[string]runner{
-	"fig5a":       {"Fig. 5(a): PROP-G in Gnutella, lookup latency vs time, varying TTL", runFig5a},
-	"fig5a-scale": {"Fig. 5(a) at scale: domain-sharded engine, estimated AL vs time, n up to 10^6", runFig5aScale},
-	"fig5b":       {"Fig. 5(b): PROP-G in Gnutella, varying system size", runFig5b},
-	"fig5c":       {"Fig. 5(c): PROP-G in Gnutella, varying physical topology", runFig5c},
-	"fig6a":       {"Fig. 6(a): PROP-G in Chord, stretch vs time, varying TTL", runFig6a},
-	"fig6b":       {"Fig. 6(b): PROP-G in Chord, varying system size", runFig6b},
-	"fig6c":       {"Fig. 6(c): PROP-G in Chord, varying physical topology", runFig6c},
-	"fig7":        {"Fig. 7: PROP-O vs PROP-G vs LTM under bimodal processing delay", runFig7},
-	"overhead":    {"§4.3: messages per adjustment, measured vs model", runOverhead},
-	"churn":       {"§3.2/§4.3: probe frequency and stretch under churn", runChurn},
-	"combo":       {"§1/§6: PROP-G combined with PNS (Chord) and PIS (CAN)", runCombo},
+	"fig5a":       {describe: "Fig. 5(a): PROP-G in Gnutella, lookup latency vs time, varying TTL", run: runFig5a},
+	"fig5a-scale": {describe: "Fig. 5(a) at scale: domain-sharded engine, estimated AL vs time, n up to 10^6", run: runFig5aScale, faults: consumesAllFaults},
+	"fig5b":       {describe: "Fig. 5(b): PROP-G in Gnutella, varying system size", run: runFig5b},
+	"fig5c":       {describe: "Fig. 5(c): PROP-G in Gnutella, varying physical topology", run: runFig5c},
+	"fig6a":       {describe: "Fig. 6(a): PROP-G in Chord, stretch vs time, varying TTL", run: runFig6a},
+	"fig6b":       {describe: "Fig. 6(b): PROP-G in Chord, varying system size", run: runFig6b},
+	"fig6c":       {describe: "Fig. 6(c): PROP-G in Chord, varying physical topology", run: runFig6c},
+	"fig7":        {describe: "Fig. 7: PROP-O vs PROP-G vs LTM under bimodal processing delay", run: runFig7},
+	"overhead":    {describe: "§4.3: messages per adjustment, measured vs model", run: runOverhead},
+	"churn":       {describe: "§3.2/§4.3: probe frequency and stretch under churn", run: runChurn},
+	"combo":       {describe: "§1/§6: PROP-G combined with PNS (Chord) and PIS (CAN)", run: runCombo},
 }
 
 // IDs lists all experiment identifiers in sorted order.
@@ -211,6 +264,9 @@ func Run(id string, opt Options) (*Result, error) {
 	entry, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("experiment: unknown id %q (known: %s)", id, strings.Join(IDs(), ", "))
+	}
+	if err := checkFaultFlags(id, entry.faults, opt); err != nil {
+		return nil, err
 	}
 	return entry.run(opt.withDefaults())
 }

@@ -17,8 +17,8 @@ func TestRegistry(t *testing.T) {
 	ids := IDs()
 	want := []string{
 		"chordchurn", "churn", "combo", "fig5a", "fig5a-scale", "fig5b", "fig5c", "fig6a", "fig6b",
-		"fig6c", "fig7", "figRa", "figRb", "figRc", "inflight", "kademlia", "minvar", "noise",
-		"overhead", "pastry", "replication", "satmatch", "traffic", "warmup",
+		"fig6c", "fig7", "figR-scale", "figRa", "figRb", "figRc", "inflight", "kademlia", "minvar",
+		"noise", "overhead", "pastry", "replication", "satmatch", "traffic", "warmup",
 	}
 	if len(ids) != len(want) {
 		t.Fatalf("IDs = %v", ids)

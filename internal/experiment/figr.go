@@ -56,14 +56,17 @@ func init() {
 	registry["figRa"] = runner{
 		describe: "robustness: PROP-G/PROP-O final stretch vs message-loss rate",
 		run:      runFigRa,
+		faults:   consumesLoss,
 	}
 	registry["figRb"] = runner{
 		describe: "robustness: PROP-G under crash-stop churn with repair rounds and audit",
 		run:      runFigRb,
+		faults:   consumesCrash,
 	}
 	registry["figRc"] = runner{
 		describe: "robustness: PROP-G through a transient network partition",
 		run:      runFigRc,
+		faults:   consumesPartition,
 	}
 }
 

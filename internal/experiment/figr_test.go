@@ -29,12 +29,21 @@ func TestFigRMetricsByteDeterminism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("figR determinism sweep in -short mode")
 	}
+	// Collapse each sweep to two points to keep the regression fast; each
+	// experiment gets only the override it consumes (Run rejects the rest).
+	overrides := map[string]Options{
+		"figRa": {FaultLoss: 0.05},
+		"figRb": {FaultCrash: 0.10},
+		"figRc": {FaultPartitionMS: 300000},
+	}
 	for _, id := range []string{"figRa", "figRb", "figRc"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			t.Parallel()
-			// Collapse the sweeps to two points to keep the regression fast.
-			opt := Options{Seed: 5, Trials: 2, Scale: 0.1, FaultLoss: 0.05, FaultCrash: 0.10}
+			opt := Options{Seed: 5, Trials: 2, Scale: 0.1}
+			opt.FaultLoss = overrides[id].FaultLoss
+			opt.FaultCrash = overrides[id].FaultCrash
+			opt.FaultPartitionMS = overrides[id].FaultPartitionMS
 			table1, jsonl1 := runFigRWithMetrics(t, id, opt)
 			table2, jsonl2 := runFigRWithMetrics(t, id, opt)
 			if table1 != table2 {

@@ -1,0 +1,203 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+	"repro/internal/shard"
+	"repro/internal/stats"
+)
+
+// figR-scale is the scaling companion of the figR* robustness family
+// (SCALING.md "Faults at scale"): the question figRa/figRb answer at 10³
+// peers — how much of the optimization gain survives message loss and
+// crash-stop churn — asked on the fig5a-scale peer ladder, where only the
+// domain-sharded engine (internal/shard) is affordable. Every run uses the
+// engine's stateless fault schedule (shard.FaultConfig), so the metrics
+// streams stay byte-identical across shard counts with faults enabled —
+// the tentpole determinism contract.
+//
+// The smallest rung sweeps the full loss and crash grids; higher rungs run
+// only each sweep's endpoints (fault-free and the largest rate), because a
+// full grid at 10⁶ peers costs an hour where the endpoints already show
+// whether the degradation trend survives the scale jump.
+
+func init() {
+	registry["figR-scale"] = runner{
+		describe: "robustness at scale: sharded engine, final estimated AL vs loss/crash rate per ladder rung",
+		run:      runFigRScale,
+		faults:   consumesAllFaults,
+	}
+}
+
+// scaleFaults translates the propsim fault overrides into one sharded-
+// engine schedule, for fig5a-scale: loss brings proportional duplication
+// and jitter (the figRa coupling), crash uses the engine's default window
+// (the middle third of the horizon), and a partition isolates transit
+// domain 0 for the requested length starting at one third of the horizon.
+// All overrides zero returns nil — the byte-identical fault-free path.
+func scaleFaults(opt Options, horizon float64) *shard.FaultConfig {
+	if opt.FaultLoss <= 0 && opt.FaultCrash <= 0 && opt.FaultPartitionMS <= 0 {
+		return nil
+	}
+	fc := &shard.FaultConfig{}
+	if opt.FaultLoss > 0 {
+		fc.LossProb = opt.FaultLoss
+		fc.DupProb = opt.FaultLoss * figRDupFraction
+		fc.JitterMS = figRJitterMS
+	}
+	if opt.FaultCrash > 0 {
+		fc.CrashFrac = opt.FaultCrash
+	}
+	addScalePartition(fc, opt, horizon)
+	return fc
+}
+
+// addScalePartition applies the -partition override to a sharded schedule:
+// transit domain 0 isolated for PartitionMS starting at horizon/3 (the
+// figRc shape, restated in engine terms).
+func addScalePartition(fc *shard.FaultConfig, opt Options, horizon float64) {
+	if opt.FaultPartitionMS <= 0 {
+		return
+	}
+	fc.PartitionDomain = 0
+	fc.PartitionStartMS = horizon / 3
+	fc.PartitionStopMS = horizon/3 + opt.FaultPartitionMS
+}
+
+// figRScaleFaultCfg builds the schedule of one figR-scale point. kind is
+// "loss" (swept loss with coupled duplication and jitter) or "crash"
+// (swept crash fraction under the figRb background loss); the partition
+// override, when set, afflicts every faulty point.
+func figRScaleFaultCfg(kind string, rate float64, opt Options, horizon float64) *shard.FaultConfig {
+	fc := &shard.FaultConfig{JitterMS: figRJitterMS}
+	switch kind {
+	case "loss":
+		fc.LossProb = rate
+		fc.DupProb = rate * figRDupFraction
+	case "crash":
+		fc.CrashFrac = rate
+		fc.LossProb = figRBackgroundLoss
+		fc.DupProb = figRBackgroundLoss * figRDupFraction
+	}
+	addScalePartition(fc, opt, horizon)
+	return fc
+}
+
+// sweepEndpoints trims a sweep to its first and last points — the
+// fault-free reference and the harshest rate.
+func sweepEndpoints(grid []float64) []float64 {
+	if len(grid) <= 2 {
+		return grid
+	}
+	return []float64{grid[0], grid[len(grid)-1]}
+}
+
+func runFigRScale(opt Options) (*Result, error) {
+	rungs := scaleRungs(opt)
+	horizon := float64(scaled(scaleHorizonMS, opt.Scale, scaleMinHorizonMS))
+	reg := opt.Metrics
+	if reg == nil {
+		reg = obs.New(obs.NewManifest("figR-scale", opt.Seed, len(rungs), opt.Scale))
+	}
+	lossGrid := faultSweep(figRLossGrid, opt.FaultLoss)
+	crashGrid := faultSweep(figRCrashGrid, opt.FaultCrash)
+
+	notes := []string{
+		fmt.Sprintf("sharded engine: %d rung(s), horizon %.0f sim-min, seed=%d scale=%.2f", len(rungs), horizon/60000, opt.Seed, opt.Scale),
+		fmt.Sprintf("loss points carry duplication = loss/%g and jitter U[0,%dms); crash points add the figRb background loss %g", 1/figRDupFraction, figRJitterMS, figRBackgroundLoss),
+		"rungs above the smallest run only each sweep's endpoints (fault-free + harshest rate)",
+		"expected shape: final AL rises gently with either fault rate and stays below the unoptimized start at every rung",
+	}
+	if opt.FaultPartitionMS > 0 {
+		notes = append(notes, fmt.Sprintf("every faulty point additionally isolates transit domain 0 for %.0f sim-min starting at minute %.0f", opt.FaultPartitionMS/60000, horizon/3/60000))
+	}
+
+	var series []stats.Series
+	for i, n := range rungs {
+		lg, cg := lossGrid, crashGrid
+		if i > 0 {
+			lg, cg = sweepEndpoints(lossGrid), sweepEndpoints(crashGrid)
+		}
+		// One point per (kind, rate); the shared fault-free reference runs
+		// once and anchors both sweeps at x=0.
+		type point struct {
+			kind string
+			rate float64
+		}
+		points := []point{{kind: "base"}}
+		for _, l := range lg {
+			if l > 0 {
+				points = append(points, point{"loss", l})
+			}
+		}
+		for _, c := range cg {
+			if c > 0 {
+				points = append(points, point{"crash", c})
+			}
+		}
+
+		tr := reg.Trial(i)
+		var lossS, crashS stats.Series
+		for _, pt := range points {
+			var fc *shard.FaultConfig
+			label := "base"
+			if pt.kind != "base" {
+				fc = figRScaleFaultCfg(pt.kind, pt.rate, opt, horizon)
+				label = fmt.Sprintf("%s%g", pt.kind, pt.rate*100)
+			}
+			cfg := shard.Config{
+				Peers:  n,
+				Shards: opt.Shards,
+				// Same world seed for every point of a rung, so the curves
+				// isolate the fault effect on one placement problem.
+				Seed:      trialSeed(opt.Seed, i),
+				HorizonMS: horizon,
+				Faults:    fc,
+			}
+			sp := tr.StartSpan(fmt.Sprintf("n=%d/%s/gen-world", n, label), 0)
+			e, err := shard.New(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("figR-scale n=%d %s: %w", n, label, err)
+			}
+			sp.End(0)
+			prefix := fmt.Sprintf("n=%d/%s/", e.Peers(), label)
+			sp = tr.StartSpan(prefix+"simulate", 0)
+			if err := e.Run(tr, prefix); err != nil {
+				return nil, fmt.Errorf("figR-scale n=%d %s: %w", n, label, err)
+			}
+			sp.End(horizon)
+			st := e.Stats()
+			if pt.kind == "base" {
+				lossS = stats.Series{Label: fmt.Sprintf("n=%d loss", e.Peers())}
+				crashS = stats.Series{Label: fmt.Sprintf("n=%d crash", e.Peers())}
+			} else {
+				notes = append(notes, fmt.Sprintf(
+					"n=%d %s: %d exchanges, %d lost, %d crashes, %d timeouts, %d evictions",
+					st.Peers, label, st.Exchanges,
+					st.Lost+st.LinkDownDrops+st.PartitionDrops, st.Crashes,
+					st.ProbeTimeouts+st.CommitTimeouts, st.Evictions))
+			}
+			_, vs := tr.Series(prefix + "al_est_ms").Points()
+			final := vs[len(vs)-1]
+			switch pt.kind {
+			case "base":
+				lossS.Add(0, final)
+				crashS.Add(0, final)
+			case "loss":
+				lossS.Add(pt.rate*100, final)
+			case "crash":
+				crashS.Add(pt.rate*100, final)
+			}
+		}
+		series = append(series, lossS, crashS)
+	}
+	return &Result{
+		ID:     "figR-scale",
+		Title:  "Robustness at scale: final estimated AL vs fault intensity on the peer ladder",
+		XLabel: "fault rate (%)",
+		YLabel: "final estimated average latency (ms)",
+		Series: series,
+		Notes:  notes,
+	}, nil
+}

@@ -1,0 +1,139 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// figRScaleTestOpt keeps figR-scale tests on the smallest rung with
+// collapsed sweeps: three sharded runs (fault-free, one loss point, one
+// crash point) over a single 4096-peer world.
+func figRScaleTestOpt(seed uint64) Options {
+	return Options{
+		Seed: seed, Trials: 1, Scale: 0.5, ScaleMaxN: scaleMinPeers,
+		FaultLoss: 0.05, FaultCrash: 0.10,
+	}
+}
+
+// TestFigRScaleSmoke runs the full default sweeps on the smallest rung and
+// checks the result shape: one loss and one crash series, each anchored at
+// the shared fault-free point, plus the per-point fault tallies in the
+// notes.
+func TestFigRScaleSmoke(t *testing.T) {
+	res, err := Run("figR-scale", Options{Seed: 4, Trials: 1, Scale: 0.5, ScaleMaxN: scaleMinPeers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 2 {
+		t.Fatalf("%d series, want 2 (loss + crash for one rung)", len(res.Series))
+	}
+	loss, crash := res.Series[0], res.Series[1]
+	if loss.Label != "n=4096 loss" || crash.Label != "n=4096 crash" {
+		t.Fatalf("series labels %q, %q", loss.Label, crash.Label)
+	}
+	if loss.Len() != len(figRLossGrid) || crash.Len() != len(figRCrashGrid) {
+		t.Fatalf("sweep sizes %d/%d, want %d/%d", loss.Len(), crash.Len(), len(figRLossGrid), len(figRCrashGrid))
+	}
+	if loss.X[0] != 0 || crash.X[0] != 0 || loss.Y[0] != crash.Y[0] {
+		t.Errorf("sweeps not anchored at the shared fault-free point: loss(%v)=%v crash(%v)=%v",
+			loss.X[0], loss.Y[0], crash.X[0], crash.Y[0])
+	}
+	var tallies bool
+	for _, n := range res.Notes {
+		if strings.Contains(n, "crash20: ") && strings.Contains(n, "crashes") {
+			tallies = true
+		}
+	}
+	if !tallies {
+		t.Errorf("notes missing per-point fault tallies: %q", res.Notes)
+	}
+}
+
+// TestFigRScaleSweepCollapse: the -loss/-crash overrides collapse each
+// sweep to {0, value}, exactly like figRa/figRb.
+func TestFigRScaleSweepCollapse(t *testing.T) {
+	res, err := Run("figR-scale", figRScaleTestOpt(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Series {
+		if s.Len() != 2 {
+			t.Errorf("series %q has %d points, want 2 (collapsed sweep)", s.Label, s.Len())
+		}
+	}
+	if got := res.Series[0].X[1]; got != 5 {
+		t.Errorf("collapsed loss sweep at %v%%, want 5%%", got)
+	}
+	if got := res.Series[1].X[1]; got != 10 {
+		t.Errorf("collapsed crash sweep at %v%%, want 10%%", got)
+	}
+}
+
+// TestFigRScaleStreamShardInvariance is the experiment-layer restatement of
+// the tentpole contract on the full-size world: with loss, duplication,
+// jitter, and crash-stop churn enabled, the metrics stream is byte-identical
+// for 1 and 16 shards (16 = one engine per ScaleTS transit domain, the
+// widest admissible split).
+func TestFigRScaleStreamShardInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharded stream sweep in -short mode")
+	}
+	base := metricsStreamOf(t, "figR-scale", figRScaleTestOpt(9))
+	for _, shards := range []int{1, 16} {
+		opt := figRScaleTestOpt(9)
+		opt.Shards = shards
+		if got := metricsStreamOf(t, "figR-scale", opt); !bytes.Equal(got, base) {
+			t.Fatalf("shards=%d faulty stream differs from default:\n%s", shards, firstDiffLine(got, base))
+		}
+	}
+	if other := metricsStreamOf(t, "figR-scale", figRScaleTestOpt(10)); bytes.Equal(base, other) {
+		t.Fatal("different seeds emitted identical faulty streams")
+	}
+	for _, name := range []string{`"n=4096/base/al_est_ms"`, `"n=4096/loss5/crashed"`, `"n=4096/crash10/evictions"`} {
+		if !bytes.Contains(base, []byte(name)) {
+			t.Errorf("stream missing series %s", name)
+		}
+	}
+	if bytes.Contains(base, []byte(`"n=4096/base/crashed"`)) {
+		t.Error("fault-free point grew a churn series")
+	}
+}
+
+// TestFaultFlagRejection pins the bugfix: a fault override an experiment
+// would silently ignore is now an error naming the flag, while the
+// fault-aware experiments accept their own overrides.
+func TestFaultFlagRejection(t *testing.T) {
+	reject := []struct {
+		id  string
+		opt Options
+		fla string
+	}{
+		{"fig5b", Options{FaultLoss: 0.05}, "-loss"},
+		{"fig5a", Options{FaultCrash: 0.1}, "-crash"},
+		{"churn", Options{FaultPartitionMS: 60000}, "-partition"},
+		{"figRa", Options{FaultCrash: 0.1}, "-crash"},
+		{"figRb", Options{FaultLoss: 0.05}, "-loss"},
+		{"figRc", Options{FaultLoss: 0.05, FaultCrash: 0.1}, "-loss/-crash"},
+	}
+	for _, c := range reject {
+		_, err := Run(c.id, c.opt)
+		if err == nil {
+			t.Errorf("%s silently accepted a fault override it does not consume (%+v)", c.id, c.opt)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.fla) || !strings.Contains(err.Error(), "figR-scale") {
+			t.Errorf("%s: error %q does not name %s and the fault-aware set", c.id, err, c.fla)
+		}
+	}
+	// fig5a-scale consumes all three: the same overrides must run clean and
+	// put the churn series on the stream.
+	opt := Options{
+		Seed: 3, Trials: 1, Scale: 0.5, ScaleMaxN: scaleMinPeers,
+		FaultLoss: 0.05, FaultCrash: 0.10, FaultPartitionMS: 60000,
+	}
+	stream := metricsStreamOf(t, "fig5a-scale", opt)
+	if !bytes.Contains(stream, []byte(`"n=4096/crashed"`)) {
+		t.Error("fig5a-scale with fault overrides missing the churn series")
+	}
+}

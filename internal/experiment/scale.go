@@ -54,6 +54,10 @@ func scaleRungs(opt Options) []int {
 func runFig5aScale(opt Options) (*Result, error) {
 	rungs := scaleRungs(opt)
 	horizon := float64(scaled(scaleHorizonMS, opt.Scale, scaleMinHorizonMS))
+	// The -loss/-crash/-partition overrides attach one fault schedule to
+	// every rung (figR-scale sweeps them instead); nil when all are zero,
+	// keeping the historical byte-identical stream.
+	faults := scaleFaults(opt, horizon)
 	// The sharded engine samples its own stream, so the experiment needs a
 	// registry even when the caller didn't ask for one.
 	reg := opt.Metrics
@@ -70,6 +74,11 @@ func runFig5aScale(opt Options) (*Result, error) {
 		fmt.Sprintf("sharded engine: %d rung(s), horizon %.0f sim-min, seed=%d scale=%.2f", len(rungs), horizon/60000, opt.Seed, opt.Scale),
 		fmt.Sprintf("al series are %d-source sketches (metrics.ALEstimator); exact reference + al_err_pct on the n=%d rung at full scale: %v", 16, scaleMinPeers, exactRung),
 	}
+	if faults != nil {
+		notes = append(notes, fmt.Sprintf(
+			"fault schedule on every rung: loss=%g dup=%g jitter=%gms crash=%g partition=[%.0f,%.0f)ms; the crash/churn series ride the stream",
+			faults.LossProb, faults.DupProb, faults.JitterMS, faults.CrashFrac, faults.PartitionStartMS, faults.PartitionStopMS))
+	}
 	for i, n := range rungs {
 		cfg := shard.Config{
 			Peers:     n,
@@ -77,6 +86,7 @@ func runFig5aScale(opt Options) (*Result, error) {
 			Seed:      trialSeed(opt.Seed, i),
 			HorizonMS: horizon,
 			ExactAL:   exactRung && n <= scaleMinPeers,
+			Faults:    faults,
 		}
 		tr := reg.Trial(i)
 		wallStart := time.Now()

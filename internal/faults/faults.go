@@ -277,6 +277,20 @@ func (in *Injector) DeliverStateless(a, b int, seq uint64, nowMS float64) Delive
 	return d
 }
 
+// JitterStateless returns only the jitter component of the stateless
+// verdict for (a→b, seq): the same hash DeliverStateless would draw, with
+// the loss and duplication rolls skipped. Two uses need it: duplicate
+// copies (their existence was decided by the original's Dup bit, but
+// their delay must be an independent draw keyed by their own sequence
+// number) and loss-exempt messages such as the sharded engine's swap
+// acknowledgment, which still jitters but never drops.
+func (in *Injector) JitterStateless(a, b int, seq uint64) float64 {
+	if in == nil || in.cfg.JitterMS <= 0 {
+		return 0
+	}
+	return unit(msgHash(in.cfg.Seed, a, b, seq, saltJitter)) * in.cfg.JitterMS
+}
+
 // msgHash mixes (seed, directed link, per-link sequence number, salt) into
 // 64 well-mixed bits. Direction matters — a→b and b→a are independent
 // message streams — unlike linkHash, whose outages are link-symmetric.

@@ -459,6 +459,30 @@ func pairKey(u, v int) int64 {
 // touching dist and reports ok=false — the caller refloods the row from
 // scratch. The affected return value is the marked-set size either way.
 func RepairRow(view CSRView, p *CSRPatch, src int, dist []float64, maxAffected int) (affected int, ok bool) {
+	return repairRow(view, p, src, dist, maxAffected, 0)
+}
+
+// f32RelTol is the parent-test tolerance of RepairRowF32: a distance that
+// round-tripped through float32 deviates from its exact value by at most
+// half an ulp (2⁻²⁴ relative), so the parent identity dist[p]+w == dist[c]
+// holds on rounded values only to within ~2⁻²³ of the magnitudes involved.
+// Two ulps (2⁻²²) covers that with margin; widening the band only marks a
+// larger affected superset, never a wrong repair.
+const f32RelTol = 1.0 / (1 << 22)
+
+// RepairRowF32 is RepairRow for a row whose values round-tripped through
+// float32 (widened back to float64 by the caller): the exact-arithmetic
+// parent tests are replaced by a relative-tolerance band of a few float32
+// ulps, so true shortest-path-tree edges are still always marked despite
+// the rounding — near-ties mark extra vertices, which the recompute phase
+// makes harmless. The repaired values are exact on the post-batch graph
+// relative to the rounded boundary distances, i.e. correct to a few ulps
+// after the caller re-rounds them to float32.
+func RepairRowF32(view CSRView, p *CSRPatch, src int, dist []float64, maxAffected int) (affected int, ok bool) {
+	return repairRow(view, p, src, dist, maxAffected, f32RelTol)
+}
+
+func repairRow(view CSRView, p *CSRPatch, src int, dist []float64, maxAffected int, relTol float64) (affected int, ok bool) {
 	n := view.NumVertices()
 	if len(dist) != n {
 		panic(fmt.Sprintf("graph: RepairRow row length %d, want %d", len(dist), n))
@@ -468,6 +492,23 @@ func RepairRow(view CSRView, p *CSRPatch, src int, dist []float64, maxAffected i
 	}
 	if maxAffected <= 0 {
 		maxAffected = n
+	}
+	// onTree is the parent test: does the edge (sum = dist[parent]+w) support
+	// d = dist[child]? Exact equality with relTol == 0 (the bit-identical
+	// float64 path); a relative band otherwise. Infinities never match the
+	// band (an unreachable endpoint supports nothing).
+	onTree := func(sum, d float64) bool {
+		if sum == d {
+			return true
+		}
+		if relTol == 0 || sum >= Inf || d >= Inf {
+			return false
+		}
+		diff := sum - d
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= relTol*(sum+d) // distances are non-negative
 	}
 	marked := make([]bool, n)
 	queue := make([]int32, 0, 16)
@@ -487,12 +528,12 @@ func RepairRow(view CSRView, p *CSRPatch, src int, dist []float64, maxAffected i
 			continue
 		}
 		du, dvv := dist[e.U], dist[e.V]
-		if du < Inf && du+e.W == dvv {
+		if du < Inf && onTree(du+e.W, dvv) {
 			if !mark(int32(e.V)) {
 				return len(queue), false
 			}
 		}
-		if dvv < Inf && dvv+e.W == du {
+		if dvv < Inf && onTree(dvv+e.W, du) {
 			if !mark(int32(e.U)) {
 				return len(queue), false
 			}
@@ -512,14 +553,14 @@ func RepairRow(view CSRView, p *CSRPatch, src int, dist []float64, maxAffected i
 			if p.addSet != nil && p.addSet[pairKey(int(x), int(y))] {
 				continue
 			}
-			if !marked[y] && dx+wt[i] == dist[y] {
+			if !marked[y] && onTree(dx+wt[i], dist[y]) {
 				if !mark(y) {
 					return len(queue), false
 				}
 			}
 		}
 		for _, h := range p.remAt[x] {
-			if h.to < n && !marked[h.to] && dx+h.w == dist[h.to] {
+			if h.to < n && !marked[h.to] && onTree(dx+h.w, dist[h.to]) {
 				if !mark(int32(h.to)) {
 					return len(queue), false
 				}

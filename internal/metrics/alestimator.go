@@ -152,7 +152,9 @@ type ALEstimate struct {
 	// AL is the estimated average latency in milliseconds.
 	AL float64
 	// StdErr is the estimated standard error of AL (sample standard
-	// deviation of the row means over √k); 0 when only one row was drawn.
+	// deviation of the row means over √k); 0 when only one row was drawn
+	// and 0 when every live slot was drawn — a census has no sampling
+	// error, the estimate IS eq. (3) over the live slots.
 	StdErr float64
 	// Sources is the number of rows actually sampled (min(k, live slots)).
 	Sources int
@@ -284,7 +286,12 @@ func (e *ALEstimator) Estimate() (ALEstimate, error) {
 	}
 	mean /= float64(k)
 	est.AL = mean
-	if k > 1 {
+	// k == n is a census: every live row was drawn without replacement, so
+	// the estimate is exactly the mean of row means (eq. (3) over the live
+	// slots, unreachable skips aside) and has zero sampling error. The
+	// k == 1 draw keeps StdErr at 0 rather than NaN — one row gives no
+	// variance information.
+	if k > 1 && k < n {
 		ss := 0.0
 		for i := 0; i < k; i++ {
 			d := rows[i] - mean

@@ -112,8 +112,76 @@ func TestALEstimatorAllSourcesIsExact(t *testing.T) {
 	if rel := math.Abs(est.AL-exact) / exact; rel > 1e-12 {
 		t.Fatalf("full-coverage sketch %.12f vs exact %.12f (rel %.2e)", est.AL, exact, rel)
 	}
-	if est.StdErr == 0 {
-		t.Fatal("StdErr = 0 with 64 sources")
+	if est.StdErr != 0 {
+		t.Fatalf("StdErr = %v for a census draw, want 0 (no sampling error)", est.StdErr)
+	}
+}
+
+// TestALEstimatorSingleSource: k = 1 is a defined degenerate — one row mean
+// with StdErr pinned to 0, never NaN (the sample-variance formula would
+// divide by k-1 = 0).
+func TestALEstimatorSingleSource(t *testing.T) {
+	r := rng.New(13)
+	o := alRingOverlay(t, r, 48, 32)
+	fs := OverlayFloodSource(o, nil)
+	e, err := NewALEstimator(fs, ALEstimatorOptions{Sources: 1}, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := e.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Sources != 1 {
+		t.Fatalf("Sources = %d, want 1", est.Sources)
+	}
+	if math.IsNaN(est.StdErr) || est.StdErr != 0 {
+		t.Fatalf("StdErr = %v with one source, want exactly 0", est.StdErr)
+	}
+	if math.IsNaN(est.AL) || est.AL <= 0 {
+		t.Fatalf("AL = %v with one source", est.AL)
+	}
+}
+
+// TestALEstimatorCrashedSlots: crashed slots leave the alive-slot space, so
+// a census over the survivors must match the exact reference over the same
+// survivors — crashed peers are neither drawn as sources nor counted as
+// destinations, and the degenerate StdErr = 0 contract holds on the
+// shrunken slot space too.
+func TestALEstimatorCrashedSlots(t *testing.T) {
+	r := rng.New(19)
+	o := alRingOverlay(t, r, 64, 96)
+	for _, slot := range []int{3, 17, 40, 41, 63} {
+		o.CrashSlot(slot)
+	}
+	fs := OverlayFloodSource(o, nil)
+	live := len(fs.AliveSlots())
+	if live != 59 {
+		t.Fatalf("live slots = %d after 5 crashes, want 59", live)
+	}
+	exact, err := AverageLatencyFrom(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewALEstimator(fs, ALEstimatorOptions{Sources: 64}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := e.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Sources != live {
+		t.Fatalf("Sources = %d, want clamped to %d live slots", est.Sources, live)
+	}
+	if rel := math.Abs(est.AL-exact) / exact; rel > 1e-12 {
+		t.Fatalf("census over survivors %.12f vs exact %.12f (rel %.2e)", est.AL, exact, rel)
+	}
+	if est.StdErr != 0 {
+		t.Fatalf("StdErr = %v for a census over survivors, want 0", est.StdErr)
+	}
+	if est.Unreachable != 0 {
+		t.Fatalf("Unreachable = %d; crashed slots must not count as destinations", est.Unreachable)
 	}
 }
 

@@ -27,9 +27,10 @@ type oracleInstr struct {
 	// evictions counts bounded-mode row evictions.
 	evictions *obs.Counter
 	// refreshRebuilds counts Refresh calls that fell back to a full rebuild
-	// (any RefreshFallbackReason); refreshF32 counts the Float32 subset,
-	// the silent-degradation case DESIGN.md §11 calls out. Attached by
-	// SetRefreshInstruments.
+	// (any RefreshFallbackReason); refreshF32 counts the
+	// RefreshFallbackFloat32 subset, which no refresh emits since Float32
+	// rows gained an in-place repair path — kept so existing streams keep
+	// their (now always-zero) series. Attached by SetRefreshInstruments.
 	refreshRebuilds *obs.Counter
 	refreshF32      *obs.Counter
 }
@@ -164,11 +165,11 @@ func (o *Oracle) SetInstruments(queries, hits, computes, evictions *obs.Counter)
 
 // SetRefreshInstruments attaches obs counters for Refresh fallbacks:
 // rebuilds counts every Refresh that abandoned the incremental path for a
-// full rebuild, and float32 counts the RefreshFallbackFloat32 subset — the
-// mode that can never repair in place, so a Float32 oracle under churn pays
-// full rebuild cost on every refresh. Either counter may be nil. Like
-// SetInstruments (whose counters it composes with), attach before sharing
-// the oracle across goroutines.
+// full rebuild, and float32 counts the RefreshFallbackFloat32 subset —
+// always zero since Float32 rows repair in place (graph.RepairRowF32), and
+// retained so streams that chart it keep their series. Either counter may
+// be nil. Like SetInstruments (whose counters it composes with), attach
+// before sharing the oracle across goroutines.
 func (o *Oracle) SetRefreshInstruments(rebuilds, float32Fallbacks *obs.Counter) {
 	next := oracleInstr{refreshRebuilds: rebuilds, refreshF32: float32Fallbacks}
 	if o.instr != nil {

@@ -32,8 +32,8 @@ type RefreshStats struct {
 	// rows invalidated (dirty domain, or repair region too large).
 	RowsKept, RowsRepaired, RowsDropped int
 	// FullRebuild is set when the refresh fell back to freeze-from-scratch
-	// plus a cold cache: journal overflow, vertex growth, Float32 rows, or
-	// a majority of domains dirty. Reason says which.
+	// plus a cold cache: journal overflow, vertex growth, or a majority of
+	// domains dirty. Reason says which.
 	FullRebuild bool
 	// Reason identifies the fallback trigger when FullRebuild is set, and is
 	// RefreshFallbackNone otherwise.
@@ -59,10 +59,12 @@ const (
 	// RefreshFallbackVertexGrowth: the graph gained vertices, which the
 	// patched CSR view cannot represent.
 	RefreshFallbackVertexGrowth RefreshFallbackReason = "vertex-growth"
-	// RefreshFallbackFloat32: the oracle stores rounded float32 rows, which
-	// cannot be repaired bit-exactly in place (repair works in float64 and
-	// would re-round, drifting from a cold computation). Pick float64 rows
-	// (possibly with RowBudget) when refresh performance matters.
+	// RefreshFallbackFloat32 is historical: Float32 oracles once fell back
+	// to a full rebuild on every refresh because rounded rows fail the
+	// repair kernel's exact-arithmetic parent tests. They now repair in
+	// place through float64 scratch with tolerance-band marking
+	// (graph.RepairRowF32), so no Refresh emits this reason anymore; the
+	// constant remains so stream consumers keyed on it keep compiling.
 	RefreshFallbackFloat32 RefreshFallbackReason = "float32"
 	// RefreshFallbackMajorityDirty: more than half the transit domains own a
 	// touched edge, so repairing rows costs more than recomputing them.
@@ -85,11 +87,15 @@ const refreshCompactDenom = 4
 //
 // The fast path costs O(batch + cached-rows · repair-region) instead of the
 // full O(n·Dijkstra + freeze) rebuild; see BENCH_PR7.json for measured
-// ratios. Falls back to a full rebuild when the journal overflowed, when
-// the graph grew vertices, in Float32 mode (rounded rows cannot be repaired
-// exactly), or when more than half the transit domains are dirty; the
-// returned stats carry the RefreshFallbackReason, and SetRefreshInstruments
-// exposes the same signal as obs counters for long runs.
+// ratios. Float32 rows take the same path through a float64 scratch row:
+// widen, repair with graph.RepairRowF32 (tolerance-band parent tests absorb
+// the rounding), re-round with the same single cast the cold computation
+// uses — so repaired rows stay within a few float32 ulps of a from-scratch
+// oracle. Falls back to a full rebuild when the journal overflowed, when
+// the graph grew vertices, or when more than half the transit domains are
+// dirty; the returned stats carry the RefreshFallbackReason, and
+// SetRefreshInstruments exposes the same signal as obs counters for long
+// runs.
 func (o *Oracle) Refresh() RefreshStats {
 	g := o.net.Graph
 	muts, ok := g.MutationsSince(o.ver)
@@ -100,9 +106,6 @@ func (o *Oracle) Refresh() RefreshStats {
 	switch {
 	case !ok:
 		o.fullRebuild(&st, RefreshFallbackJournal)
-		return st
-	case o.opt.Float32:
-		o.fullRebuild(&st, RefreshFallbackFloat32)
 		return st
 	case g.NumVertices() != o.fz.NumVertices():
 		o.fullRebuild(&st, RefreshFallbackVertexGrowth)
@@ -157,14 +160,18 @@ func (o *Oracle) Refresh() RefreshStats {
 	}
 
 	// Walk the cached rows: dirty-domain sources drop, the rest repair in
-	// place (bailing to a drop when the affected region explodes).
+	// place (bailing to a drop when the affected region explodes). Float32
+	// rows repair through one reused float64 scratch row — widen, repair
+	// with the tolerance-band kernel, re-round in place with the same plain
+	// cast the cold computation uses.
 	patch := graph.NewCSRPatch(added, removed)
 	n := o.fz.NumVertices()
 	maxAffected := n / 4
 	dropped := make([]bool, n)
+	var scratch []float64
 	for src := 0; src < n; src++ {
-		p := o.rows[src].Load()
-		if p == nil {
+		r64, r32 := o.load(src)
+		if r64 == nil && r32 == nil {
 			continue
 		}
 		if dirtyNode[src] {
@@ -173,7 +180,23 @@ func (o *Oracle) Refresh() RefreshStats {
 			st.RowsDropped++
 			continue
 		}
-		affected, ok := graph.RepairRow(o.fz, patch, src, *p, maxAffected)
+		var affected int
+		if o.opt.Float32 {
+			if scratch == nil {
+				scratch = make([]float64, n)
+			}
+			for i, d := range *r32 {
+				scratch[i] = float64(d)
+			}
+			affected, ok = graph.RepairRowF32(o.fz, patch, src, scratch, maxAffected)
+			if ok && affected > 0 {
+				for i, d := range scratch {
+					(*r32)[i] = float32(d)
+				}
+			}
+		} else {
+			affected, ok = graph.RepairRow(o.fz, patch, src, *r64, maxAffected)
+		}
 		switch {
 		case !ok:
 			o.dropRow(src)
@@ -210,10 +233,13 @@ func (o *Oracle) Refresh() RefreshStats {
 	return st
 }
 
-// dropRow invalidates src's cached row (float64 mode only; Float32 mode
-// never reaches the incremental path).
+// dropRow invalidates src's cached row in the mode's representation.
 func (o *Oracle) dropRow(src int) {
-	o.rows[src].Store(nil)
+	if o.opt.Float32 {
+		o.rows32[src].Store(nil)
+	} else {
+		o.rows[src].Store(nil)
+	}
 	o.cached.Add(-1)
 }
 

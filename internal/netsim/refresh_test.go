@@ -121,9 +121,33 @@ func TestRefreshRepeated(t *testing.T) {
 	}
 }
 
-// TestRefreshFullRebuildPaths covers the fallback cases: Float32 rows and
-// vertex growth both force a rebuild that still answers correctly.
-func TestRefreshFullRebuildPaths(t *testing.T) {
+// f32RowTol is the acceptance band for repaired Float32 rows: a repaired
+// value may differ from a from-scratch Float32 computation by a few ulps
+// (~2⁻²³ relative), because the repair recomputes from rounded boundary
+// distances. 1e-5 relative leaves room for drift across repeated refreshes
+// while still catching any real repair bug (wrong distances differ by whole
+// link weights, i.e. milliseconds).
+const f32RowTol = 1e-5
+
+// f32Close reports whether a repaired Float32 distance matches the
+// reference within the relative tolerance band.
+func f32Close(got, want float64) bool {
+	if got == want {
+		return true
+	}
+	diff := got - want
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff <= f32RowTol*(got+want)
+}
+
+// TestRefreshFloat32Repair pins the Float32 repair path (ROADMAP item 5
+// leftover): a churn batch must NOT trigger the historical full-rebuild
+// fallback; clean-domain rows are repaired in place through float64
+// scratch, and every surviving row matches a from-scratch Float32 oracle
+// within a few ulps.
+func TestRefreshFloat32Repair(t *testing.T) {
 	net, err := Generate(TSSmall(), rng.New(9))
 	if err != nil {
 		t.Fatal(err)
@@ -131,26 +155,82 @@ func TestRefreshFullRebuildPaths(t *testing.T) {
 	o := NewOracleWith(net, OracleOptions{Float32: true})
 	var rebuilds, f32 obs.Counter
 	o.SetRefreshInstruments(&rebuilds, &f32)
-	o.Precompute(net.StubHosts[:4])
-	churnMutation(t, net, net.StubHosts[0], 1.0)
-	if st := o.Refresh(); !st.FullRebuild || st.Reason != RefreshFallbackFloat32 {
-		t.Fatalf("Float32 refresh must rebuild with reason %q, got %+v", RefreshFallbackFloat32, st)
+	o.Precompute(net.StubHosts)
+	before := o.CachedRows()
+
+	churnMutation(t, net, net.StubHosts[0], 1.5)
+	st := o.Refresh()
+	if st.FullRebuild {
+		t.Fatalf("Float32 churn refresh fell back to full rebuild: %+v", st)
 	}
-	if rebuilds.Value() != 1 || f32.Value() != 1 {
-		t.Fatalf("refresh instruments = (%d rebuilds, %d float32), want (1, 1)", rebuilds.Value(), f32.Value())
+	if st.RowsRepaired == 0 {
+		t.Fatalf("no rows repaired in place: %+v", st)
 	}
-	if o.CachedRows() != 0 {
-		t.Fatalf("rebuild left %d cached rows", o.CachedRows())
+	if st.RowsDropped == 0 || st.RowsDropped >= before {
+		t.Fatalf("dropped %d of %d rows; want the dirty domain but not all", st.RowsDropped, before)
 	}
-	a, b := net.StubHosts[0], net.StubHosts[1]
-	want := net.Graph.Freeze().ShortestPaths(a)[b]
-	got := o.Latency(a, b)
-	if diff := got - want; diff > 1e-3 || diff < -1e-3 {
-		t.Fatalf("post-rebuild latency %v, want ~%v", got, want)
+	if rebuilds.Value() != 0 || f32.Value() != 0 {
+		t.Fatalf("refresh instruments = (%d rebuilds, %d float32), want (0, 0)", rebuilds.Value(), f32.Value())
 	}
 
-	// Vertex growth also rebuilds (in float64 mode), with its own reason and
-	// without touching the Float32-specific counter.
+	fresh := net.Graph.Freeze()
+	want32 := make([]float32, fresh.NumVertices())
+	for _, src := range net.StubHosts {
+		fresh.ShortestPathsF32Into(src, want32)
+		row := o.Row(src) // repaired in place or recomputed on demand
+		for i := range want32 {
+			if !f32Close(row[i], float64(want32[i])) {
+				t.Fatalf("row %d entry %d = %v, want %v (±%g rel)", src, i, row[i], want32[i], f32RowTol)
+			}
+		}
+	}
+}
+
+// TestRefreshFloat32Repeated drives several churn/refresh cycles in Float32
+// mode; the rounding error must stay inside the tolerance band instead of
+// compounding.
+func TestRefreshFloat32Repeated(t *testing.T) {
+	net, err := Generate(TSSmall(), rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := NewOracleWith(net, OracleOptions{Float32: true})
+	o.Precompute(net.StubHosts)
+	r := rng.New(11)
+	repaired := 0
+	for round := 0; round < 12; round++ {
+		churnMutation(t, net, net.StubHosts[r.Intn(len(net.StubHosts))], float64(1+r.Intn(5)))
+		st := o.Refresh()
+		if st.FullRebuild {
+			t.Fatalf("round %d fell back to full rebuild: %+v", round, st)
+		}
+		repaired += st.RowsRepaired
+		fresh := net.Graph.Freeze()
+		want32 := make([]float32, fresh.NumVertices())
+		for k := 0; k < 6; k++ {
+			src := net.StubHosts[r.Intn(len(net.StubHosts))]
+			fresh.ShortestPathsF32Into(src, want32)
+			row := o.Row(src)
+			for i := range want32 {
+				if !f32Close(row[i], float64(want32[i])) {
+					t.Fatalf("round %d row %d entry %d = %v, want %v", round, src, i, row[i], want32[i])
+				}
+			}
+		}
+	}
+	if repaired == 0 {
+		t.Fatal("12 churn rounds never repaired a Float32 row in place")
+	}
+}
+
+// TestRefreshFullRebuildPaths covers the remaining fallback cases: vertex
+// growth (here) and journal overflow force a rebuild that still answers
+// correctly; Float32 rows no longer do (TestRefreshFloat32Repair).
+func TestRefreshFullRebuildPaths(t *testing.T) {
+	net, err := Generate(TSSmall(), rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
 	o2 := NewOracle(net)
 	var rebuilds2, f322 obs.Counter
 	o2.SetRefreshInstruments(&rebuilds2, &f322)
@@ -291,6 +371,39 @@ func BenchmarkOracleChurnRebuild(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		benchChurnMutate(net, r)
 		o := NewOracle(net)
+		o.Precompute(srcs)
+	}
+}
+
+// BenchmarkOracleChurnRefreshF32 pins the Float32 repair path (the PR-9
+// bugfix): one churn mutation against a 256-row warm Float32 oracle must
+// cost repair + dirty-row recompute, not the full rebuild the historical
+// RefreshFallbackFloat32 fallback paid. Compare against
+// BenchmarkOracleChurnRebuildF32.
+func BenchmarkOracleChurnRefreshF32(b *testing.B) {
+	net, srcs := benchChurnSetup(b)
+	o := NewOracleWith(net, OracleOptions{Float32: true})
+	o.Precompute(srcs)
+	r := rng.New(2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchChurnMutate(net, r)
+		o.Refresh()
+		o.Precompute(srcs)
+	}
+}
+
+// BenchmarkOracleChurnRebuildF32 is what every Float32 refresh used to
+// cost: a from-scratch oracle plus a full re-warm after each mutation.
+func BenchmarkOracleChurnRebuildF32(b *testing.B) {
+	net, srcs := benchChurnSetup(b)
+	r := rng.New(2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchChurnMutate(net, r)
+		o := NewOracleWith(net, OracleOptions{Float32: true})
 		o.Precompute(srcs)
 	}
 }

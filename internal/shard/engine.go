@@ -23,13 +23,16 @@ import (
 // world-generation stream derived from the same Config.Seed.
 const alSeedSalt = 0x414c2d657374 // "AL-est"
 
-// Run executes the simulation: initial probe timers, the epoch loop with
-// conservative-lookahead windows, per-sample metrics into tr (series
+// Run executes the simulation: initial probe timers (plus, under faults,
+// the stateless crash schedule), the epoch loop with conservative-
+// lookahead windows, per-sample metrics into tr (series
 // prefix+"al_est_ms", "al_stderr_ms", "exchanges", "messages", plus
-// "al_exact_ms" and "al_err_pct" under Config.ExactAL), a drain of
-// in-flight work past the horizon, and final invariant checks (every peer
-// idle, slot assignment a bijection). A nil tr runs the protocol without
-// sampling. An Engine is single-use; a second Run returns an error.
+// "al_exact_ms" and "al_err_pct" under Config.ExactAL, plus the
+// crash/churn event stream "crashed", "lost", "timeouts", "evictions"
+// when any fault knob is set), a drain of in-flight work past the
+// horizon, and final invariant checks (every live peer idle, live slot
+// claims injective). A nil tr runs the protocol without sampling. An
+// Engine is single-use; a second Run returns an error.
 func (e *Engine) Run(tr *obs.Trial, prefix string) error {
 	if e.ran {
 		return errReRun
@@ -43,11 +46,20 @@ func (e *Engine) Run(tr *obs.Trial, prefix string) error {
 	for p := 0; p < e.n; p++ {
 		sh := e.shards[e.shardOfPeer[p]]
 		e.schedule(sh, int32(p), e.cfg.ProbeIntervalMS*u01(e.draw(int32(p))), kProbe)
+		if e.faultsOn {
+			// The crash schedule is a stateless per-peer hash, so this
+			// loop plants byte-identical kCrash timers for every shard
+			// count; the timer consumes an oseq only on the fault-on path.
+			if at, ok := e.crashSchedule(int32(p)); ok {
+				e.schedule(sh, int32(p), at, kCrash)
+			}
+		}
 	}
 
 	sampling := tr != nil
 	var est *metrics.ALEstimator
 	var sAL, sSE, sEx, sMsg, sExact, sErr *obs.TimeSeries
+	var sCrash, sLost, sTO, sEvict *obs.TimeSeries
 	if sampling {
 		var err error
 		est, err = metrics.NewALEstimator(e.fs, metrics.ALEstimatorOptions{Sources: e.cfg.ALSources}, rng.New(e.seed^alSeedSalt))
@@ -62,6 +74,15 @@ func (e *Engine) Run(tr *obs.Trial, prefix string) error {
 			sExact = tr.Series(prefix + "al_exact_ms")
 			sErr = tr.Series(prefix + "al_err_pct")
 		}
+		if e.faultsOn {
+			// The crash/churn event stream: cumulative fault activity at
+			// every sample. Registered only under faults, so fault-free
+			// streams stay byte-identical to the pre-fault engine.
+			sCrash = tr.Series(prefix + "crashed")
+			sLost = tr.Series(prefix + "lost")
+			sTO = tr.Series(prefix + "timeouts")
+			sEvict = tr.Series(prefix + "evictions")
+		}
 	}
 
 	horizon := e.cfg.HorizonMS
@@ -69,7 +90,7 @@ func (e *Engine) Run(tr *obs.Trial, prefix string) error {
 	t0, nextSample := 0.0, 0.0
 	for {
 		if sampling && nextSample <= horizon && t0 == nextSample {
-			if err := e.sample(est, nextSample, sAL, sSE, sEx, sMsg, sExact, sErr); err != nil {
+			if err := e.sample(est, nextSample, sAL, sSE, sEx, sMsg, sExact, sErr, sCrash, sLost, sTO, sEvict); err != nil {
 				return err
 			}
 			nextSample += step
@@ -148,7 +169,7 @@ func (e *Engine) window(t1 float64) {
 // sample records one metrics row at simulated time t. The snapshot refresh
 // and every recorded quantity are pure functions of the processed event
 // prefix, which is why the stream is byte-identical across shard counts.
-func (e *Engine) sample(est *metrics.ALEstimator, t float64, sAL, sSE, sEx, sMsg, sExact, sErr *obs.TimeSeries) error {
+func (e *Engine) sample(est *metrics.ALEstimator, t float64, sAL, sSE, sEx, sMsg, sExact, sErr, sCrash, sLost, sTO, sEvict *obs.TimeSeries) error {
 	e.extra.SnapshotConflicts += uint64(e.fs.refresh())
 	sk, err := est.Estimate()
 	if err != nil {
@@ -164,6 +185,13 @@ func (e *Engine) sample(est *metrics.ALEstimator, t float64, sAL, sSE, sEx, sMsg
 		tot.Commits += sh.stats.Commits
 		tot.VerRejected += sh.stats.VerRejected
 		tot.Notifies += sh.stats.Notifies
+		tot.Crashes += sh.stats.Crashes
+		tot.Lost += sh.stats.Lost
+		tot.LinkDownDrops += sh.stats.LinkDownDrops
+		tot.PartitionDrops += sh.stats.PartitionDrops
+		tot.ProbeTimeouts += sh.stats.ProbeTimeouts
+		tot.CommitTimeouts += sh.stats.CommitTimeouts
+		tot.Evictions += sh.stats.Evictions
 	}
 	sEx.Sample(t, float64(tot.Exchanges))
 	sMsg.Sample(t, float64(tot.messages()))
@@ -175,14 +203,27 @@ func (e *Engine) sample(est *metrics.ALEstimator, t float64, sAL, sSE, sEx, sMsg
 		sExact.Sample(t, exact)
 		sErr.Sample(t, 100*math.Abs(sk.AL-exact)/exact)
 	}
+	if sCrash != nil {
+		sCrash.Sample(t, float64(tot.Crashes))
+		sLost.Sample(t, float64(tot.Lost+tot.LinkDownDrops+tot.PartitionDrops))
+		sTO.Sample(t, float64(tot.ProbeTimeouts+tot.CommitTimeouts))
+		sEvict.Sample(t, float64(tot.Evictions))
+	}
 	return nil
 }
 
-// checkInvariants verifies the quiesced end state: no peer stuck mid-probe
-// or mid-commit, and the slot assignment a bijection.
+// checkInvariants verifies the quiesced end state: no live peer stuck
+// mid-probe or mid-commit, and the slot claims of live peers injective.
+// Fault-free every peer is alive and injectivity over n peers and n slots
+// is a bijection; under crash-stop churn, corpses keep their last claim
+// (possibly the same slot a survivor moved onto mid-swap) and are
+// excluded — their slots are simply vacant in the measurement plane.
 func (e *Engine) checkInvariants() error {
 	seen := make([]bool, e.n)
 	for p := 0; p < e.n; p++ {
+		if e.faultsOn && e.dead[p] {
+			continue
+		}
 		if e.pstate[p] != 0 {
 			return fmt.Errorf("shard: peer %d quiesced in state %d, want idle", p, e.pstate[p])
 		}
@@ -196,7 +237,9 @@ func (e *Engine) checkInvariants() error {
 }
 
 // Stats sums the run tallies across shards. Meaningful after Run; all
-// fields except CrossShard and Epochs are shard-count invariant.
+// fields except CrossShard and Epochs are shard-count invariant — the
+// fault tallies included, because every fault verdict is a stateless hash
+// and every drop a pure function of the processed event prefix.
 func (e *Engine) Stats() Stats {
 	out := e.extra
 	out.Peers = e.n
@@ -212,6 +255,17 @@ func (e *Engine) Stats() Stats {
 		out.VerRejected += sh.stats.VerRejected
 		out.Notifies += sh.stats.Notifies
 		out.CrossShard += sh.stats.CrossShard
+		out.Lost += sh.stats.Lost
+		out.DupsSent += sh.stats.DupsSent
+		out.LinkDownDrops += sh.stats.LinkDownDrops
+		out.PartitionDrops += sh.stats.PartitionDrops
+		out.Crashes += sh.stats.Crashes
+		out.DeadDrops += sh.stats.DeadDrops
+		out.ProbeTimeouts += sh.stats.ProbeTimeouts
+		out.CommitTimeouts += sh.stats.CommitTimeouts
+		out.StaleGuards += sh.stats.StaleGuards
+		out.Evictions += sh.stats.Evictions
+		out.NoNeighbor += sh.stats.NoNeighbor
 	}
 	return out
 }

@@ -96,6 +96,8 @@ func newFloodSource(e *Engine) *floodSource {
 // acknowledgment still in transit); resolution is deterministic and
 // shard-count independent: ascending peers claim their slot first-wins,
 // then displaced peers (ascending) fill the unclaimed slots (ascending).
+// Under churn, dead peers claim nothing — their slots stay vacant (-1)
+// and the alive-slot list shrinks with them.
 func (f *floodSource) refresh() (conflicts int) {
 	e := f.e
 	for s := range f.peerAt {
@@ -103,15 +105,15 @@ func (f *floodSource) refresh() (conflicts int) {
 	}
 	var displaced []int32
 	for p := 0; p < e.n; p++ {
+		if e.faultsOn && e.dead[p] {
+			continue
+		}
 		s := e.slotOf[p]
 		if f.peerAt[s] < 0 {
 			f.peerAt[s] = int32(p)
 		} else {
 			displaced = append(displaced, int32(p))
 		}
-	}
-	if len(displaced) == 0 {
-		return 0
 	}
 	next := 0
 	for s := 0; s < e.n && next < len(displaced); s++ {
@@ -120,20 +122,31 @@ func (f *floodSource) refresh() (conflicts int) {
 			next++
 		}
 	}
+	if e.faultsOn {
+		f.alive = f.alive[:0]
+		for s := 0; s < e.n; s++ {
+			if f.peerAt[s] >= 0 {
+				f.alive = append(f.alive, s)
+			}
+		}
+	}
 	return len(displaced)
 }
 
 // NumSlots reports the slot-index space size (one slot per peer).
 func (f *floodSource) NumSlots() int { return f.e.n }
 
-// AliveSlots returns all slots: the logical overlay is static and every
-// slot is always occupied.
+// AliveSlots returns the occupied slots, ascending. Fault-free that is
+// every slot (the logical overlay is static and fully occupied); under
+// crash-stop churn, slots whose occupant died are vacant and excluded.
 func (f *floodSource) AliveSlots() []int { return f.alive }
 
 // FloodInto runs Dijkstra from src over the logical overlay under the
-// frozen occupancy snapshot. Safe for concurrent calls with distinct dist
-// buffers (scratch heaps come from a pool); the snapshot itself must be
-// quiescent, which the sample barrier guarantees.
+// frozen occupancy snapshot; vacant slots (crashed occupants) do not
+// relay, so rows may contain +Inf for slots cut off by churn. Safe for
+// concurrent calls with distinct dist buffers (scratch heaps come from a
+// pool); the snapshot itself must be quiescent, which the sample barrier
+// guarantees.
 func (f *floodSource) FloodInto(src int, dist []float64) {
 	e := f.e
 	for i := range dist {
@@ -150,7 +163,11 @@ func (f *floodSource) FloodInto(src int, dist []float64) {
 		}
 		p := f.peerAt[it.s]
 		for _, t := range e.nbrs(it.s) {
-			d := it.d + e.estLat(p, f.peerAt[t])
+			q := f.peerAt[t]
+			if q < 0 {
+				continue
+			}
+			d := it.d + e.estLat(p, q)
 			if d < dist[t] {
 				dist[t] = d
 				h.push(flItem{d: d, s: t})

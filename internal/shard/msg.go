@@ -30,6 +30,21 @@ const (
 	// kNotify updates one believed occupant: slot a is now held by the
 	// sending peer.
 	kNotify
+	// kCrash is a self-timer killing the peer (crash-stop churn): the peer
+	// flips dead, drops every later arrival, and never recovers. Scheduled
+	// at Run start from the stateless crash schedule; only exists when
+	// faults are enabled.
+	kCrash
+	// kProbeTO is the probe-cycle timeout self-timer: if the peer is still
+	// awaiting a walk report for the cycle identified by c, the cycle is
+	// abandoned and the first-hop neighbor accrues a liveness strike. Only
+	// scheduled when faults are enabled.
+	kProbeTO
+	// kCommitTO is the two-phase-swap timeout self-timer: if the peer is
+	// still locked awaiting the acknowledgment of the proposal identified
+	// by c, the swap is aborted (nothing moved — see handleCommitTO for
+	// why the abort is safe). Only scheduled when faults are enabled.
+	kCommitTO
 )
 
 // msg is one event. origin/oseq form — with the arrival time — the total
@@ -37,6 +52,12 @@ const (
 // timer) and oseq its per-peer send counter, so keys are unique and the
 // pop order of any one peer's events is independent of both goroutine
 // scheduling and the shard partition (see the package comment).
+//
+// c carries the sender's probe-cycle counter (Engine.txn): under faults a
+// reply can straggle in after its cycle timed out and a new one started,
+// so every cycle-scoped message echoes the counter and handlers discard
+// mismatches. Fault-free runs never time out, the guard never fires, and
+// the schedule is unchanged.
 type msg struct {
 	at     float64
 	origin int32
@@ -44,6 +65,7 @@ type msg struct {
 	from   int32
 	to     int32
 	a, b   int32
+	c      int32
 	kind   kind
 	hops   uint8
 	rlen   uint8

@@ -116,9 +116,101 @@ type Config struct {
 	// estimator's relative error at every sample. O(n·Dijkstra) per sample
 	// — only sane at the small rungs (n ≤ ~4096).
 	ExactAL bool
+	// Faults is the fault/churn schedule. nil — or a schedule with every
+	// knob zero — is the fault-free fast path: no timeout timers, no crash
+	// events, no fate draws, and a message schedule byte-identical to the
+	// engine without fault support.
+	Faults *FaultConfig
 	// Net overrides the physical preset (tests use tiny worlds); nil means
 	// netsim.ScaleTS(Peers).
 	Net *netsim.Config
+}
+
+// FaultConfig is the sharded engine's fault and churn schedule, the PR 4
+// fault model (internal/faults) restated for the shard tier. Every verdict
+// it induces is a stateless hash of (seed, link or peer, sequence or time
+// window) in the style of faults.DeliverStateless, so any shard can
+// evaluate any message's fate with no shared mutable state — the property
+// that keeps metrics streams byte-identical across shard counts even with
+// faults enabled.
+type FaultConfig struct {
+	// LossProb is the i.i.d. per-message drop probability. The two-phase
+	// swap acknowledgment (kCommitOK) is exempt — see the reliable-ack
+	// note in sim.go.
+	LossProb float64
+	// DupProb is the probability a delivered message arrives twice; the
+	// duplicate takes a fresh sequence number and its own jitter draw.
+	DupProb float64
+	// JitterMS is the maximum extra one-way delay, drawn uniformly from
+	// [0, JitterMS) per message. Jitter is strictly additive, so it can
+	// never undercut the conservative lookahead floor; a jittered message
+	// whose arrival lands past the current epoch window simply waits in
+	// its heap and is processed in a later window (both regimes — jitter
+	// below the floor and far above it — are pinned by tests).
+	JitterMS float64
+	// LinkFailProb is the probability that a given overlay link is down
+	// for a given outage window; LinkFailPeriodMS is the window length
+	// (0 means faults.DefaultLinkFailPeriodMS). Outage state is a pure
+	// hash of (seed, link, window), symmetric in the link.
+	LinkFailProb     float64
+	LinkFailPeriodMS float64
+	// PartitionDomain isolates one transit domain during [PartitionStartMS,
+	// PartitionStopMS): every message between a peer inside the domain and
+	// one outside is dropped. No partition when the window is empty.
+	PartitionDomain                   int
+	PartitionStartMS, PartitionStopMS float64
+	// CrashFrac is the fraction of peers that crash-stop (dead forever,
+	// dropping all traffic) at a stateless per-peer hash time inside
+	// [CrashStartMS, CrashStopMS). Both zero means the middle third of the
+	// horizon.
+	CrashFrac                 float64
+	CrashStartMS, CrashStopMS float64
+}
+
+// enabled reports whether any fault knob is set; a nil or all-zero
+// schedule keeps the engine on its historical fault-free path.
+func (f *FaultConfig) enabled() bool {
+	if f == nil {
+		return false
+	}
+	return f.LossProb > 0 || f.DupProb > 0 || f.JitterMS > 0 ||
+		f.LinkFailProb > 0 || f.PartitionStopMS > f.PartitionStartMS ||
+		f.CrashFrac > 0
+}
+
+// validate checks the schedule against the resolved physical preset.
+func (f *FaultConfig) validate(net netsim.Config) error {
+	inUnit := func(name string, v float64) error {
+		if v < 0 || v > 1 {
+			return fmt.Errorf("shard: %s = %v out of [0,1]", name, v)
+		}
+		return nil
+	}
+	if err := inUnit("Faults.LossProb", f.LossProb); err != nil {
+		return err
+	}
+	if err := inUnit("Faults.DupProb", f.DupProb); err != nil {
+		return err
+	}
+	if err := inUnit("Faults.LinkFailProb", f.LinkFailProb); err != nil {
+		return err
+	}
+	if err := inUnit("Faults.CrashFrac", f.CrashFrac); err != nil {
+		return err
+	}
+	switch {
+	case f.JitterMS < 0:
+		return fmt.Errorf("shard: Faults.JitterMS = %v, want >= 0", f.JitterMS)
+	case f.LinkFailPeriodMS < 0:
+		return fmt.Errorf("shard: Faults.LinkFailPeriodMS = %v, want >= 0", f.LinkFailPeriodMS)
+	case f.PartitionStopMS < f.PartitionStartMS:
+		return fmt.Errorf("shard: partition window [%v,%v) inverted", f.PartitionStartMS, f.PartitionStopMS)
+	case f.PartitionStopMS > f.PartitionStartMS && (f.PartitionDomain < 0 || f.PartitionDomain >= net.TransitDomains):
+		return fmt.Errorf("shard: Faults.PartitionDomain = %d, want 0..%d", f.PartitionDomain, net.TransitDomains-1)
+	case f.CrashStopMS < f.CrashStartMS:
+		return fmt.Errorf("shard: crash window [%v,%v) inverted", f.CrashStartMS, f.CrashStopMS)
+	}
+	return nil
 }
 
 // withDefaults returns cfg with zero fields filled in.
@@ -158,6 +250,9 @@ func (c Config) validate(net netsim.Config) error {
 	case net.TotalStubHosts() < 8:
 		return fmt.Errorf("shard: %d peers, want >= 8", net.TotalStubHosts())
 	}
+	if c.Faults != nil {
+		return c.Faults.validate(net)
+	}
 	return nil
 }
 
@@ -192,6 +287,28 @@ type Stats struct {
 	// deterministically while building sample-time snapshots (a swap's
 	// commit seen but its acknowledgment still in flight).
 	SnapshotConflicts uint64
+
+	// Fault/churn tallies, all zero on the fault-free path and — like the
+	// protocol counters — invariant across shard counts, because every
+	// fate is a stateless hash and every drop a pure function of the
+	// processed event prefix. Integer counters only: float tallies would
+	// pick up shard-partition-dependent summation order.
+
+	// Lost counts i.i.d. per-message drops; DupsSent duplicated
+	// deliveries; LinkDownDrops transient-outage drops; PartitionDrops
+	// drops across the domain-partition cut.
+	Lost, DupsSent, LinkDownDrops, PartitionDrops uint64
+	// Crashes counts crash-stop events; DeadDrops messages (and stale
+	// self-timers) discarded because the addressee was dead.
+	Crashes, DeadDrops uint64
+	// ProbeTimeouts counts abandoned probe cycles; CommitTimeouts aborted
+	// two-phase swaps (version-guarded — see handleCommitTO); StaleGuards
+	// cycle-scoped replies discarded by the txn guard.
+	ProbeTimeouts, CommitTimeouts, StaleGuards uint64
+	// Evictions counts believed-occupant entries evicted after repeated
+	// probe timeouts through them; NoNeighbor probe cycles skipped because
+	// every cache entry was evicted.
+	Evictions, NoNeighbor uint64
 }
 
 // messages returns the total protocol message count (excluding self

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/faults"
 	"repro/internal/netsim"
 	"repro/internal/rng"
 )
@@ -39,6 +40,9 @@ type Engine struct {
 
 	// shardOfPeer is the static partition: transit domain mod shard count.
 	shardOfPeer []int32
+	// domainOfPeer is each peer's transit domain, kept (only under faults)
+	// so the domain-partition cut is a pure array lookup per message.
+	domainOfPeer []uint8
 
 	// Mutable struct-of-arrays peer state. A handler running in shard s
 	// only ever writes indices belonging to peers of shard s.
@@ -49,6 +53,18 @@ type Engine struct {
 	oseq   []uint32 // per-peer send counter (ordering key)
 	occRow []int32  // flat [peer*maxDeg+i]: believed occupant of the i-th
 	// neighbor slot of the peer's current slot
+
+	// Fault/churn state, allocated only when faultsOn (≈2.25 B/peer of
+	// tombstone + liveness bookkeeping on top of the ~150 B/peer base).
+	faultsOn bool
+	fc       FaultConfig      // normalized schedule (windows defaulted)
+	inj      *faults.Injector // stateless loss/dup/jitter/link-outage hashes
+	dead     []bool           // crash-stop tombstones
+	txn      []uint32         // per-peer probe-cycle counter (stale-reply guard)
+	probeNbr []uint8          // first-hop cache index of the current cycle
+	failCnt  []uint8          // flat [peer*maxDeg+i]: consecutive timeout strikes
+	probeTO  float64          // probe-cycle timeout (walk legs + report leg)
+	commitTO float64          // two-phase-swap timeout (commit + ack legs)
 
 	shards []*shardRun
 	extra  Stats // engine-level tallies (snapshot conflicts)
@@ -137,13 +153,124 @@ func New(cfg Config) (*Engine, error) {
 	for p, host := range world.StubHosts {
 		e.shardOfPeer[p] = int32(world.Domain[host] % cfg.Shards)
 	}
+	if cfg.Faults.enabled() {
+		e.domainOfPeer = make([]uint8, n)
+		for p, host := range world.StubHosts {
+			e.domainOfPeer[p] = uint8(world.Domain[host])
+		}
+	}
 	// The physical world has served its purpose; only coordinates and the
 	// partition survive into the run.
 
 	e.buildLogical(r)
 	e.initPeers(r)
+	if err := e.initFaults(); err != nil {
+		return nil, err
+	}
 	e.fs = newFloodSource(e)
 	return e, nil
+}
+
+// initFaults normalizes the fault schedule and allocates the churn state.
+// A nil or all-zero schedule leaves the engine on the fault-free path:
+// faultsOn stays false, nothing is allocated, and Run never schedules a
+// timeout or crash event — which is what keeps the zero-knob schedule
+// byte-identical to the pre-fault engine.
+func (e *Engine) initFaults() error {
+	if !e.cfg.Faults.enabled() {
+		return nil
+	}
+	e.faultsOn = true
+	e.fc = *e.cfg.Faults
+	if e.fc.CrashFrac > 0 && e.fc.CrashStartMS == 0 && e.fc.CrashStopMS == 0 {
+		// Default churn window: the middle third of the horizon, so the
+		// stream shows pre-churn convergence, the hit, and the recovery.
+		e.fc.CrashStartMS = e.cfg.HorizonMS / 3
+		e.fc.CrashStopMS = 2 * e.cfg.HorizonMS / 3
+	}
+	inj, err := faults.NewInjector(faults.Config{
+		Seed:             e.seed ^ shardFaultSalt,
+		LossProb:         e.fc.LossProb,
+		DupProb:          e.fc.DupProb,
+		JitterMS:         e.fc.JitterMS,
+		LinkFailProb:     e.fc.LinkFailProb,
+		LinkFailPeriodMS: e.fc.LinkFailPeriodMS,
+		// The domain partition is evaluated in-engine over domainOfPeer
+		// (a flat array beats a 10⁶-entry host set); the injector only
+		// owns the loss/dup/jitter/link-outage hashes.
+	})
+	if err != nil {
+		return err
+	}
+	e.inj = inj
+	e.dead = make([]bool, e.n)
+	e.txn = make([]uint32, e.n)
+	e.probeNbr = make([]uint8, e.n)
+	e.failCnt = make([]uint8, e.n*maxDeg)
+
+	// Timeout bounds from the worst-case one-way leg: estLat is at most
+	// twice the largest landmark coordinate, plus the jitter cap. A probe
+	// cycle is WalkHops walk legs plus the report leg; a commit round is
+	// the proposal plus the acknowledgment. The +1 ms slack keeps timeout
+	// firings strictly after the last possible reply, so a timeout that
+	// finds its cycle still open proves the reply was dropped, not late
+	// (see handleCommitTO).
+	maxCoord := 0.0
+	for _, c := range e.coord {
+		if v := float64(c); v > maxCoord {
+			maxCoord = v
+		}
+	}
+	maxLeg := 2*maxCoord + e.fc.JitterMS
+	e.probeTO = float64(e.cfg.WalkHops+1)*maxLeg + 1
+	e.commitTO = 2*maxLeg + 1
+	return nil
+}
+
+// shardFaultSalt separates the fault-fate hash stream from the
+// world-generation and AL-estimator streams derived from the same seed.
+const shardFaultSalt = 0x73686172642d666c // "shard-fl"
+
+// crashSchedule reports whether peer p crash-stops this run and, if so,
+// when: a stateless hash of (seed, peer) decides both, so the schedule is
+// a pure function of the configuration — independent of shard layout, and
+// computable for any peer by any shard.
+func (e *Engine) crashSchedule(p int32) (at float64, crashes bool) {
+	if e.fc.CrashFrac <= 0 {
+		return 0, false
+	}
+	if u01(crashHash(e.seed, p, 1)) >= e.fc.CrashFrac {
+		return 0, false
+	}
+	span := e.fc.CrashStopMS - e.fc.CrashStartMS
+	return e.fc.CrashStartMS + u01(crashHash(e.seed, p, 2))*span, true
+}
+
+// crashHash mixes (seed, peer, salt) with a SplitMix64-style finalizer —
+// the same construction as draw, but counterless, so consulting it never
+// perturbs the peer's protocol randomness.
+func crashHash(seed uint64, p int32, salt uint64) uint64 {
+	x := seed ^ 0xc5a5e5d1b3a91f37
+	for _, w := range [...]uint64{uint64(uint32(p)), salt} {
+		x += w + 0x9e3779b97f4a7c15
+		x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+		x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+		x ^= x >> 31
+	}
+	return x
+}
+
+// partitioned reports whether the domain-partition cut separates peers p
+// and q at time nowMS.
+func (e *Engine) partitioned(p, q int32, nowMS float64) bool {
+	if e.fc.PartitionStopMS <= e.fc.PartitionStartMS {
+		return false
+	}
+	if nowMS < e.fc.PartitionStartMS || nowMS >= e.fc.PartitionStopMS {
+		return false
+	}
+	pd := uint8(e.fc.PartitionDomain)
+	return (e.domainOfPeer[p] == pd) != (e.domainOfPeer[q] == pd)
 }
 
 // buildLogical constructs the static overlay: a ring over all n slots (so
