@@ -1,17 +1,22 @@
 // Command propnode runs the live PROP runtime outside the test harness.
 //
-// Three modes:
+// Four modes:
 //
 //	propnode                     # loopback demo: N agents optimize a
 //	                             # clustered topology over the in-process
 //	                             # transport, then print the improvement
+//	propnode -mode chaos -seed 7 # seed-deterministic chaos soak: kills,
+//	                             # recoveries, a partition window, mailbox
+//	                             # pressure; deterministic log on stdout
 //	propnode -mode udp-echo -bind 127.0.0.1:9753
 //	                             # answer pings over real UDP until -dur
 //	propnode -mode udp-ping -peer 127.0.0.1:9753 -count 5
 //	                             # ping a udp-echo peer and print wall RTTs
 //
 // The loopback demo is the quick-start of DESIGN.md §10; the two UDP modes
-// pair up as the two-process smoke test CI runs on localhost.
+// pair up as the two-process smoke test CI runs on localhost, and the chaos
+// mode is the CI chaos job's soak (run twice, logs diffed — see
+// EXPERIMENTS.md "Chaos schedule knobs").
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/overlay"
 	"repro/internal/propnode"
@@ -28,15 +34,18 @@ import (
 
 func main() {
 	var (
-		mode     = flag.String("mode", "loopback", "loopback | udp-echo | udp-ping")
-		n        = flag.Int("n", 16, "loopback: number of agents")
+		mode     = flag.String("mode", "loopback", "loopback | chaos | udp-echo | udp-ping")
+		n        = flag.Int("n", 16, "loopback/chaos: number of agents")
 		dur      = flag.Duration("dur", 2*time.Second, "how long to run (loopback demo, udp-echo lifetime)")
-		policy   = flag.String("policy", "propg", "loopback: propg | propo")
-		seed     = flag.Uint64("seed", 1, "loopback: runtime seed")
+		policy   = flag.String("policy", "propg", "loopback/chaos: propg | propo")
+		seed     = flag.Uint64("seed", 1, "loopback/chaos: runtime seed")
 		interval = flag.Float64("interval", 5, "loopback: probe interval INIT_TIMER in ms")
 		bind     = flag.String("bind", "127.0.0.1:0", "udp-echo: address to bind")
 		peer     = flag.String("peer", "", "udp-ping: peer address to ping")
 		count    = flag.Int("count", 5, "udp-ping: number of pings")
+		steps    = flag.Int("steps", 0, "chaos: schedule length in steps (0 = default)")
+		stepMS   = flag.Float64("step-ms", 0, "chaos: step length in ms (0 = default)")
+		killFrac = flag.Float64("kill-frac", 0, "chaos: fraction of agents killed (0 = default 0.25)")
 	)
 	flag.Parse()
 
@@ -44,6 +53,8 @@ func main() {
 	switch *mode {
 	case "loopback":
 		err = runLoopback(*n, *dur, *policy, *seed, *interval)
+	case "chaos":
+		err = runChaos(*n, *policy, *seed, *steps, *stepMS, *killFrac)
 	case "udp-echo":
 		err = runUDPEcho(*bind, *dur)
 	case "udp-ping":
@@ -55,6 +66,36 @@ func main() {
 		fmt.Fprintln(os.Stderr, "propnode:", err)
 		os.Exit(1)
 	}
+}
+
+// runChaos executes one seeded chaos schedule. The deterministic log goes to
+// stdout (CI diffs it across a double run); the wall-clock-dependent counter
+// summary goes to stderr so it can never pollute the determinism contract.
+func runChaos(n int, policyName string, seed uint64, steps int, stepMS, killFrac float64) error {
+	var policy core.Policy
+	switch policyName {
+	case "propg":
+		policy = core.PROPG
+	case "propo":
+		policy = core.PROPO
+	default:
+		return fmt.Errorf("unknown -policy %q", policyName)
+	}
+	res, err := chaos.Run(chaos.Config{
+		N:        n,
+		Seed:     seed,
+		Steps:    steps,
+		StepMS:   stepMS,
+		KillFrac: killFrac,
+		Policy:   policy,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Log)
+	fmt.Fprintf(os.Stderr, "chaos: %d kills, %d recovers\nchaos summary: %s\n",
+		res.Kills, res.Recovers, res.Summary)
+	return res.AuditErr
 }
 
 // clusterLat is the demo's two-cluster latency model: same-parity hosts are

@@ -228,6 +228,9 @@ func TestFrozenF32MatchesF64(t *testing.T) {
 // scratch pool is warm, a full Dijkstra into a caller buffer performs zero
 // allocations.
 func TestShortestPathsIntoAllocationFree(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("race instrumentation allocates; the zero-alloc pin only holds unraced")
+	}
 	r := rng.New(3)
 	g := randomConnectedGraph(r, 500, 2000)
 	fz := g.Frozen()

@@ -1,0 +1,8 @@
+//go:build !race
+
+package graph
+
+// raceDetectorEnabled reports whether this test binary was built with the
+// race detector, whose instrumentation allocates behind the scenes and
+// makes exact allocation pins meaningless.
+const raceDetectorEnabled = false

@@ -80,6 +80,32 @@ func (rt *Runtime) Leave(slot int) error {
 // eviction or RepairCrashed catches up — nobody is notified.
 func (rt *Runtime) Crash(slot int) error {
 	rt.mu.Lock()
+	return rt.crashLocked(slot)
+}
+
+// CrashHost is Crash addressed by host: the host→slot resolution happens
+// under the same lock as the kill, so an in-flight exchange cannot migrate
+// the host to another slot between lookup and death (Crash by slot kills
+// whoever backs the slot *now* — the right semantics for "this machine
+// dies" is this one).
+func (rt *Runtime) CrashHost(host int) error {
+	rt.mu.Lock()
+	if rt.o == nil {
+		rt.mu.Unlock()
+		return fmt.Errorf("propnode: crash-host(%d) on a stopped runtime", host)
+	}
+	slot := rt.o.SlotOfHost(host)
+	if slot < 0 {
+		rt.mu.Unlock()
+		return fmt.Errorf("propnode: crash-host(%d): host backs no live slot", host)
+	}
+	return rt.crashLocked(slot)
+}
+
+// crashLocked executes the crash-stop. Caller holds rt.mu; released on every
+// path (the dying agent's node must close without the lock — its in-flight
+// handlers may be waiting on it).
+func (rt *Runtime) crashLocked(slot int) error {
 	if rt.o == nil || !rt.o.Alive(slot) {
 		rt.mu.Unlock()
 		return fmt.Errorf("propnode: crash(%d) on dead slot", slot)
@@ -98,6 +124,44 @@ func (rt *Runtime) Crash(slot int) error {
 		a.node.Close()
 	}
 	return nil
+}
+
+// Recover restarts a crashed host with its persisted identity: the host's
+// incarnation counter survived the crash, so the restarted agent comes up
+// one epoch later and every message or exchange attempt left over from the
+// pre-crash life is absorbed by the epoch guards instead of corrupting the
+// slot bijection. The host rejoins through the live bootstrap exactly like a
+// fresh node — its old slot is gone (or still a corpse awaiting repair; both
+// are fine, AddSlot hands out a new one). Returns the new slot.
+func (rt *Runtime) Recover(host int) (int, error) {
+	rt.mu.Lock()
+	if rt.o == nil || rt.stopped {
+		rt.mu.Unlock()
+		return 0, fmt.Errorf("propnode: recover on a stopped runtime")
+	}
+	if rt.incarnation[host] == 0 {
+		rt.mu.Unlock()
+		return 0, fmt.Errorf("propnode: recover(%d): host has no prior incarnation", host)
+	}
+	if _, up := rt.agents[host]; up {
+		rt.mu.Unlock()
+		return 0, fmt.Errorf("propnode: recover(%d): host is already live", host)
+	}
+	gcfg := gnutella.Config{LinksPerJoin: rt.cfg.LinksPerJoin}
+	slot, err := gnutella.Join(rt.o, host, gcfg, rt.r)
+	if err != nil {
+		rt.mu.Unlock()
+		return 0, err
+	}
+	if err := rt.spawnLocked(host); err != nil {
+		rt.mu.Unlock()
+		return 0, err
+	}
+	rt.recovers.Add(1)
+	affected := rt.agentsForLocked(rt.o.Neighbors(slot))
+	rt.mu.Unlock()
+	kickAll(affected)
+	return slot, nil
 }
 
 // RepairCrashed runs one failure-recovery round over the whole overlay and

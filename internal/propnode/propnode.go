@@ -60,6 +60,21 @@ type Config struct {
 	Retries int
 	// LinksPerJoin is the unstructured membership degree (default 4).
 	LinksPerJoin int
+	// HeartbeatIntervalMS is the failure detector's sweep period (default
+	// 4x ProbeIntervalMS — detection only has to beat the suspicion bound,
+	// not the probe cadence). Each sweep pings every live neighbor once.
+	HeartbeatIntervalMS float64
+	// HeartbeatTimeout is the base deadline of one heartbeat ping (default
+	// PingTimeout). Suspicion stretches it adaptively: a neighbor at
+	// suspicion level s gets deadline HeartbeatTimeout << min(s, 3), so a
+	// slow-but-alive peer earns grace instead of eviction.
+	HeartbeatTimeout time.Duration
+	// SuspicionThreshold is the accrual bound of the failure detector: a
+	// neighbor whose heartbeats miss this many consecutive sweeps is evicted
+	// and membership repair runs. 0 selects the default (3); negative
+	// disables the detector entirely (PR-6 behavior: eviction waits for an
+	// RPC failure during a probe cycle).
+	SuspicionThreshold int
 	// Lat is the ground-truth latency model recorded in the overlay for
 	// metrics like MeanLinkLatency; the protocol itself never reads it. Nil
 	// means metrics report zero (e.g. over real UDP, where there is no
@@ -92,6 +107,15 @@ func (c *Config) fill() {
 	if c.LinksPerJoin == 0 {
 		c.LinksPerJoin = 4
 	}
+	if c.HeartbeatIntervalMS == 0 {
+		c.HeartbeatIntervalMS = 4 * c.ProbeIntervalMS
+	}
+	if c.HeartbeatTimeout == 0 {
+		c.HeartbeatTimeout = c.PingTimeout
+	}
+	if c.SuspicionThreshold == 0 {
+		c.SuspicionThreshold = 3
+	}
 	if c.Lat == nil {
 		c.Lat = func(a, b int) float64 { return 0 }
 	}
@@ -110,6 +134,20 @@ type Counters struct {
 	WalkFailures uint64
 	// MeasureFailures counts Var evaluations aborted by a failed RTT probe.
 	MeasureFailures uint64
+	// Heartbeats counts failure-detector pings sent.
+	Heartbeats uint64
+	// SuspectEvictions counts neighbor links dropped by the failure detector
+	// (confirmed corpses and suspicion-threshold evictions alike).
+	SuspectEvictions uint64
+	// AutoRepairs counts corpses repaired by detector-triggered membership
+	// repair (as opposed to an explicit RepairCrashed call).
+	AutoRepairs uint64
+	// Recovers counts successful Runtime.Recover rejoins.
+	Recovers uint64
+	// StaleEpochs counts messages and exchange attempts absorbed by the
+	// incarnation epoch guard — traffic from a pre-crash life of an agent
+	// that must not leak into its recovered one.
+	StaleEpochs uint64
 }
 
 // Runtime is a set of live PROP agents over one transport network.
@@ -117,29 +155,40 @@ type Runtime struct {
 	cfg Config
 	net transport.Network
 
-	mu     sync.Mutex
-	o      *overlay.Overlay
-	r      *rng.Rand
-	agents map[int]*agent // by host
-	m      int            // resolved PROP-O trade size
+	mu          sync.Mutex
+	o           *overlay.Overlay
+	r           *rng.Rand
+	agents      map[int]*agent // by host
+	incarnation map[int]uint32 // per-host epoch, survives Crash/Recover
+	m           int            // resolved PROP-O trade size
 
 	wg      sync.WaitGroup
 	stopped bool
 
-	probes       atomic.Uint64
-	exchanges    atomic.Uint64
-	rejected     atomic.Uint64
-	walkFails    atomic.Uint64
-	measureFails atomic.Uint64
+	probes        atomic.Uint64
+	exchanges     atomic.Uint64
+	rejected      atomic.Uint64
+	walkFails     atomic.Uint64
+	measureFails  atomic.Uint64
+	heartbeats    atomic.Uint64
+	suspectEvicts atomic.Uint64
+	autoRepairs   atomic.Uint64
+	recovers      atomic.Uint64
+	staleEpochs   atomic.Uint64
 }
 
 type agent struct {
 	host  int
+	epoch uint32 // incarnation: stamped on every call, checked on every reply
 	node  *transport.Node
 	queue []queueEntry // first-hop priority queue, reconciled lazily
 	qseq  int
 	stop  chan struct{}
 	kick  chan struct{} // neighbor-change notification: reset the timer
+
+	// susp is the failure detector's per-neighbor suspicion accrual, keyed
+	// by host. Owned exclusively by the agent's detector goroutine.
+	susp map[int]int
 
 	trials  int
 	timerMS float64
@@ -156,10 +205,11 @@ type queueEntry struct {
 func New(net transport.Network, cfg Config) *Runtime {
 	cfg.fill()
 	return &Runtime{
-		cfg:    cfg,
-		net:    net,
-		r:      rng.New(cfg.Seed),
-		agents: make(map[int]*agent),
+		cfg:         cfg,
+		net:         net,
+		r:           rng.New(cfg.Seed),
+		agents:      make(map[int]*agent),
+		incarnation: make(map[int]uint32),
 	}
 }
 
@@ -199,11 +249,14 @@ func (rt *Runtime) spawnLocked(host int) error {
 	if err != nil {
 		return fmt.Errorf("propnode: open host %d: %w", host, err)
 	}
+	rt.incarnation[host]++
 	a := &agent{
-		host: host,
-		node: transport.NewNode(ep),
-		stop: make(chan struct{}),
-		kick: make(chan struct{}, 1),
+		host:  host,
+		epoch: rt.incarnation[host],
+		node:  transport.NewNode(ep),
+		stop:  make(chan struct{}),
+		kick:  make(chan struct{}, 1),
+		susp:  make(map[int]int),
 	}
 	a.node.Handle(func(in transport.Inbound) {
 		// Handlers must not block the pump: forwarders and measurement
@@ -220,6 +273,11 @@ func (rt *Runtime) spawnLocked(host int) error {
 	rt.wg.Add(1)
 	stagger := time.Duration(rt.r.Float64()*rt.cfg.ProbeIntervalMS) * time.Millisecond
 	go rt.runAgent(a, stagger)
+	if rt.cfg.SuspicionThreshold > 0 {
+		rt.wg.Add(1)
+		hbStagger := time.Duration(rt.r.Float64()*rt.cfg.HeartbeatIntervalMS) * time.Millisecond
+		go rt.runDetector(a, hbStagger)
+	}
 	return nil
 }
 
@@ -239,11 +297,16 @@ func (rt *Runtime) View(f func(o *overlay.Overlay)) {
 // Counters snapshots protocol activity.
 func (rt *Runtime) Counters() Counters {
 	return Counters{
-		Probes:          rt.probes.Load(),
-		Exchanges:       rt.exchanges.Load(),
-		Rejected:        rt.rejected.Load(),
-		WalkFailures:    rt.walkFails.Load(),
-		MeasureFailures: rt.measureFails.Load(),
+		Probes:           rt.probes.Load(),
+		Exchanges:        rt.exchanges.Load(),
+		Rejected:         rt.rejected.Load(),
+		WalkFailures:     rt.walkFails.Load(),
+		MeasureFailures:  rt.measureFails.Load(),
+		Heartbeats:       rt.heartbeats.Load(),
+		SuspectEvictions: rt.suspectEvicts.Load(),
+		AutoRepairs:      rt.autoRepairs.Load(),
+		Recovers:         rt.recovers.Load(),
+		StaleEpochs:      rt.staleEpochs.Load(),
 	}
 }
 
@@ -373,14 +436,21 @@ func (rt *Runtime) probeOnce(a *agent) bool {
 	s := a.queue[firstIdx].neighbor
 	sHost := rt.o.HostOf(s)
 	walkReq := transport.Message{
-		Type: transport.TWalk,
-		TTL:  uint8(rt.cfg.NHops - 1),
-		Key:  uint32(a.host),
-		Path: []int{u, s},
+		Type:  transport.TWalk,
+		TTL:   uint8(rt.cfg.NHops - 1),
+		Epoch: a.epoch,
+		Key:   uint32(a.host),
+		Path:  []int{u, s},
 	}
 	rt.mu.Unlock()
 
 	reply, err := a.node.Call(sHost, walkReq, rt.cfg.PingTimeout, rt.cfg.Retries)
+	if err == nil && reply.Msg.Epoch != a.epoch {
+		// A reply addressed to a previous incarnation of this host: absorb
+		// it — its walk state belongs to the pre-crash life.
+		rt.staleEpochs.Add(1)
+		err = fmt.Errorf("propnode: stale-epoch walk reply")
+	}
 	walked := err == nil && reply.Msg.TTL == 1 && len(reply.Msg.Path) >= 2
 	success := false
 	partnerTried := false
@@ -422,6 +492,14 @@ func (rt *Runtime) probeOnce(a *agent) bool {
 func (rt *Runtime) attemptExchange(a *agent, u, v int, path []int) (success, tried bool) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	// Incarnation guard: a goroutine of a crashed-and-recovered (or plain
+	// crashed) agent must never commit two-phase-swap state into the
+	// bijection — only the host's current agent may mutate the overlay.
+	if rt.agents[a.host] != a {
+		rt.staleEpochs.Add(1)
+		rt.rejected.Add(1)
+		return false, false
+	}
 	// Optimistic concurrency: the walk ran without the lock, so the world
 	// may have moved. Re-validate before measuring.
 	if rt.o.SlotOfHost(a.host) != u || u == v || !rt.o.Alive(u) || !rt.o.Alive(v) {
@@ -496,10 +574,14 @@ func (rt *Runtime) measureFrom(a *agent, x, y int) (float64, error) {
 	}
 	body := make([]byte, 8)
 	binary.BigEndian.PutUint64(body, uint64(int64(y)))
-	reply, err := a.node.Call(x, transport.Message{Type: transport.TMeasure, Body: body},
+	reply, err := a.node.Call(x, transport.Message{Type: transport.TMeasure, Epoch: a.epoch, Body: body},
 		rt.cfg.PingTimeout, rt.cfg.Retries)
 	if err != nil {
 		return 0, err
+	}
+	if reply.Msg.Epoch != a.epoch {
+		rt.staleEpochs.Add(1)
+		return 0, fmt.Errorf("propnode: stale-epoch measure reply %d→%d", x, y)
 	}
 	if reply.Msg.TTL != 1 || len(reply.Msg.Body) != 8 {
 		return 0, fmt.Errorf("propnode: measure relay %d→%d failed", x, y)
@@ -563,11 +645,12 @@ func (rt *Runtime) handleWalk(a *agent, m transport.Message) {
 			ttl = 1
 		}
 		_ = a.node.Send(origin, transport.Message{
-			Type: transport.TWalkReply,
-			TTL:  ttl,
-			Seq:  m.Seq,
-			Key:  m.Key,
-			Path: path,
+			Type:  transport.TWalkReply,
+			TTL:   ttl,
+			Epoch: m.Epoch, // echoed so the origin can reject stale-life replies
+			Seq:   m.Seq,
+			Key:   m.Key,
+			Path:  path,
 		})
 	}
 	if len(m.Path) < 2 || len(m.Path) > transport.MaxPath-1 {
@@ -609,11 +692,12 @@ func (rt *Runtime) handleWalk(a *agent, m transport.Message) {
 	rt.mu.Unlock()
 
 	_ = a.node.Send(nextHost, transport.Message{
-		Type: transport.TWalk,
-		TTL:  m.TTL - 1,
-		Seq:  m.Seq,
-		Key:  m.Key,
-		Path: append(append([]int(nil), m.Path...), next),
+		Type:  transport.TWalk,
+		TTL:   m.TTL - 1,
+		Epoch: m.Epoch,
+		Seq:   m.Seq,
+		Key:   m.Key,
+		Path:  append(append([]int(nil), m.Path...), next),
 	})
 }
 
@@ -622,7 +706,7 @@ func (rt *Runtime) handleWalk(a *agent, m transport.Message) {
 // deadlock-freedom argument rests on that.
 func (rt *Runtime) handleMeasure(a *agent, m transport.Message) {
 	fail := func() {
-		_ = a.node.Send(m.Src, transport.Message{Type: transport.TMeasureReply, TTL: 0, Seq: m.Seq})
+		_ = a.node.Send(m.Src, transport.Message{Type: transport.TMeasureReply, TTL: 0, Epoch: m.Epoch, Seq: m.Seq})
 	}
 	if len(m.Body) != 8 {
 		fail()
@@ -640,5 +724,5 @@ func (rt *Runtime) handleMeasure(a *agent, m transport.Message) {
 	}
 	body := make([]byte, 8)
 	binary.BigEndian.PutUint64(body, math.Float64bits(rtt))
-	_ = a.node.Send(m.Src, transport.Message{Type: transport.TMeasureReply, TTL: 1, Seq: m.Seq, Body: body})
+	_ = a.node.Send(m.Src, transport.Message{Type: transport.TMeasureReply, TTL: 1, Epoch: m.Epoch, Seq: m.Seq, Body: body})
 }

@@ -3,9 +3,11 @@ package transport
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/faults"
+	"repro/internal/obs"
 )
 
 // LoopbackConfig describes an in-process network.
@@ -67,6 +69,10 @@ type Loopback struct {
 	linkSeq map[[2]int]uint64
 	drops   []Drop
 	stats   LoopbackStats
+
+	// obs instruments, network-wide totals (nil-safe).
+	obsOverflows *obs.Counter
+	obsDropped   *obs.Counter
 }
 
 // NewLoopback builds an empty in-process network.
@@ -93,6 +99,17 @@ func (l *Loopback) Open(host int) (Endpoint, error) {
 	ep := &loopEndpoint{net: l, host: host, recv: make(chan Inbound, l.cfg.Queue)}
 	l.eps[host] = ep
 	return ep, nil
+}
+
+// SetInstruments attaches obs counters for mailbox overflows and fault-gate
+// drops. Totals aggregate across endpoints; per-endpoint overflow counts
+// stay available through the endpoint's Counters. Nil counters keep the
+// zero-cost disabled path.
+func (l *Loopback) SetInstruments(overflows, dropped *obs.Counter) {
+	l.mu.Lock()
+	l.obsOverflows = overflows
+	l.obsDropped = dropped
+	l.mu.Unlock()
 }
 
 // Drops returns a copy of the fault schedule so far.
@@ -129,6 +146,7 @@ func (l *Loopback) send(from *loopEndpoint, to int, m Message) {
 	if verdict.Lost {
 		l.drops = append(l.drops, Drop{Src: from.host, Dst: to, Seq: seq, Reason: verdict.Reason})
 		l.stats.Dropped++
+		l.obsDropped.Inc()
 		return
 	}
 	l.stats.Sent++
@@ -153,7 +171,11 @@ func (l *Loopback) send(from *loopEndpoint, to int, m Message) {
 		case dst.recv <- in:
 			l.stats.Delivered++
 		default:
+			// Bounded mailbox: a receiver that is not draining sheds the
+			// message here — datagram semantics, same as the UDP endpoint.
 			l.stats.Overflows++
+			dst.overflows.Add(1)
+			l.obsOverflows.Inc()
 		}
 	}
 }
@@ -173,12 +195,20 @@ type loopEndpoint struct {
 	host int
 	recv chan Inbound
 
+	overflows atomic.Uint64
+
 	mu     sync.Mutex
 	closed bool
 }
 
 // Host returns the host ID this endpoint answers for.
 func (ep *loopEndpoint) Host() int { return ep.host }
+
+// Counters snapshots the endpoint's delivery-failure accounting (only
+// Overflows applies on the loopback; the socket-level fields stay zero).
+func (ep *loopEndpoint) Counters() Counters {
+	return Counters{Overflows: ep.overflows.Load()}
+}
 
 // Send transmits m to host to with datagram semantics.
 func (ep *loopEndpoint) Send(to int, m Message) error {

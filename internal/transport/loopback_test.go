@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/faults"
+	"repro/internal/obs"
 )
 
 func testLat(a, b int) float64 {
@@ -284,5 +285,42 @@ func TestLoopbackJitterBounded(t *testing.T) {
 	}
 	if !sawJitter {
 		t.Fatal("no jitter observed over 50 messages")
+	}
+}
+
+func TestLoopbackMailboxOverflowPerEndpoint(t *testing.T) {
+	// A tiny bounded mailbox: everything past capacity is shed and counted
+	// on the victim endpoint, network-wide stats, and the obs counter alike.
+	lb := NewLoopback(LoopbackConfig{Queue: 4})
+	reg := obs.New(obs.Manifest{Experiment: "test"})
+	overflows := reg.Trial(0).Counter("transport.overflows")
+	lb.SetInstruments(overflows, nil)
+
+	a, err := lb.Open(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := lb.Open(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := a.Send(2, Message{Type: TData}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const wantShed = 10 - 4
+	if got := lb.Stats().Overflows; got != wantShed {
+		t.Fatalf("Stats().Overflows = %d, want %d", got, wantShed)
+	}
+	if got := b.(*loopEndpoint).Counters().Overflows; got != wantShed {
+		t.Fatalf("endpoint Counters().Overflows = %d, want %d", got, wantShed)
+	}
+	if got := overflows.Value(); got != wantShed {
+		t.Fatalf("obs counter = %d, want %d", got, wantShed)
+	}
+	// The sender endpoint shed nothing.
+	if got := a.(*loopEndpoint).Counters().Overflows; got != 0 {
+		t.Fatalf("sender Counters().Overflows = %d, want 0", got)
 	}
 }

@@ -129,3 +129,86 @@ func TestUDPMalformedDatagramIgnored(t *testing.T) {
 		t.Fatal("valid frame lost after malformed one")
 	}
 }
+
+func TestUDPAddrRebindCounted(t *testing.T) {
+	// Three networks = three processes: R receives, and two distinct sockets
+	// both claim to be host 7. The first datagram learns the route, the
+	// second (from a different address) rebinds it — and only the rebind is
+	// counted. Repeats from an unchanged address must not count.
+	nr := NewUDPNetwork("")
+	r, err := nr.Open(1)
+	if err != nil {
+		t.Skipf("udp unavailable: %v", err)
+	}
+	defer r.Close()
+	addrR, _ := nr.Addr(1)
+
+	senders := make([]Endpoint, 2)
+	for i := range senders {
+		n := NewUDPNetwork("")
+		ep, err := n.Open(7)
+		if err != nil {
+			t.Skipf("udp unavailable: %v", err)
+		}
+		defer ep.Close()
+		if err := n.AddPeer(1, addrR); err != nil {
+			t.Fatal(err)
+		}
+		senders[i] = ep
+	}
+
+	recvOne := func(from Endpoint, note string) {
+		t.Helper()
+		if err := from.Send(1, Message{Type: TData, Body: []byte(note)}); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case <-r.Recv():
+		case <-time.After(2 * time.Second):
+			t.Fatalf("%s: datagram never arrived", note)
+		}
+	}
+
+	recvOne(senders[0], "first-learn")
+	if got := r.(*UDPEndpoint).Counters().AddrRebinds; got != 0 {
+		t.Fatalf("first learn counted as rebind: %d", got)
+	}
+	recvOne(senders[0], "same-addr")
+	if got := r.(*UDPEndpoint).Counters().AddrRebinds; got != 0 {
+		t.Fatalf("unchanged address counted as rebind: %d", got)
+	}
+	recvOne(senders[1], "rebind")
+	if got := r.(*UDPEndpoint).Counters().AddrRebinds; got != 1 {
+		t.Fatalf("AddrRebinds = %d after an address change, want 1", got)
+	}
+	recvOne(senders[1], "same-addr-2")
+	if got := r.(*UDPEndpoint).Counters().AddrRebinds; got != 1 {
+		t.Fatalf("AddrRebinds = %d after unchanged resend, want 1", got)
+	}
+}
+
+func TestUDPMailboxOverflowCounted(t *testing.T) {
+	_, a, b := udpPair(t)
+	defer a.Close()
+	defer b.Close()
+
+	// Nobody drains b.Recv(): its bounded mailbox (1024) must fill, and
+	// everything past capacity must be shed and counted, not block the
+	// socket. Send in batches until the counter moves (kernel buffers make
+	// any fixed count racy).
+	ub := b.(*UDPEndpoint)
+	deadline := time.Now().Add(5 * time.Second)
+	for ub.Counters().Overflows == 0 && time.Now().Before(deadline) {
+		for i := 0; i < 256; i++ {
+			if err := a.Send(2, Message{Type: TData}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := ub.Counters().Overflows; got == 0 {
+		t.Fatal("mailbox never overflowed; drops are uncounted")
+	}
+	// The endpoint must stay usable: drain a slot and verify delivery flows.
+	<-b.Recv()
+}
